@@ -1,0 +1,108 @@
+package timecache
+
+import "testing"
+
+// TestAttackWrapperSweep exercises every public attack entry point at small
+// sizes; the detailed behavioral assertions live in internal/attack — here
+// we check the wrappers plumb configurations and results faithfully.
+func TestAttackWrapperSweep(t *testing.T) {
+	const bits, seed = 16, 3
+
+	if r, err := RunEvictReloadAttack(TimeCache, bits, seed); err != nil || r.Hits != 0 {
+		t.Fatalf("evict+reload: %+v err=%v", r, err)
+	}
+	if r, err := RunFlushFlushAttack(TimeCache, true, bits, seed); err != nil || r.Accuracy > 0.95 {
+		t.Fatalf("flush+flush(ct): %+v err=%v", r, err)
+	}
+	if r, err := RunPrimeProbeAttack(Baseline, false, bits, seed); err != nil || r.Accuracy < 0.8 {
+		t.Fatalf("prime+probe: %+v err=%v", r, err)
+	}
+	if r, err := RunLRUAttack(Baseline, "lru", bits, seed); err != nil || r.Accuracy < 0.8 {
+		t.Fatalf("lru: %+v err=%v", r, err)
+	}
+	if _, err := RunLRUAttack(Baseline, "bogus-policy", bits, seed); err == nil {
+		t.Fatal("unknown replacement policy must error")
+	}
+	if r, err := RunCoherenceAttack(TimeCache, bits, seed); err != nil || r.Accuracy > 0.8 {
+		t.Fatalf("coherence: %+v err=%v", r, err)
+	}
+	if r, err := RunSMTAttack(TimeCache, bits, seed); err != nil || r.Accuracy > 0.8 {
+		t.Fatalf("smt: %+v err=%v", r, err)
+	}
+	if r, err := RunEvictTimeAttack(Baseline, 500); err != nil || !r.Leaks {
+		t.Fatalf("evict+time: %+v err=%v", r, err)
+	}
+	if r, err := RunSpectreChannel(TimeCache, []byte("ab")); err != nil || r.Hits != 0 {
+		t.Fatalf("spectre: %+v err=%v", r, err)
+	}
+	if _, err := RunSpectreChannel(TimeCache, nil); err == nil {
+		t.Fatal("empty spectre secret must error")
+	}
+	// Bit-string fields must be populated and consistent.
+	r, err := RunSMTAttack(Baseline, bits, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SecretBits) != bits || len(r.RecoveredBits) != bits {
+		t.Fatalf("bit strings malformed: %q %q", r.SecretBits, r.RecoveredBits)
+	}
+}
+
+// TestLimitedPointerConfig exercises the MaxSharers public plumbing.
+func TestLimitedPointerConfig(t *testing.T) {
+	sys, err := New(Config{Mode: TimeCache, MaxSharers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+		movi r1, 0
+		movi r2, 20000
+	loop:
+		addi r1, r1, 1
+		blt  r1, r2, loop
+		halt
+	`
+	for i := 0; i < 2; i++ {
+		if _, err := sys.LoadAsm(src, LoadOptions{ShareKey: "lim"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Run(1 << 62)
+	if !sys.AllExited() {
+		t.Fatal("did not finish")
+	}
+	var fa uint64
+	for _, c := range sys.Stats().Caches {
+		fa += c.FirstAccess
+	}
+	if fa == 0 {
+		t.Fatal("limited tracker must still produce first accesses")
+	}
+}
+
+// TestBookkeepingScalingPublic covers the public wrapper.
+func TestBookkeepingScalingPublic(t *testing.T) {
+	rows, err := ReproduceBookkeepingScaling([]uint64{150_000, 600_000},
+		ExperimentOptions{InstrsPerProc: 40_000, WarmupInstrs: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1].BookkeepingPct >= rows[0].BookkeepingPct {
+		t.Fatalf("bookkeeping rows: %+v", rows)
+	}
+}
+
+// TestDefenseAblationPublic covers the public wrapper.
+func TestDefenseAblationPublic(t *testing.T) {
+	rows, err := ReproduceDefenseAblation("2Xnamd",
+		ExperimentOptions{InstrsPerProc: 30_000, WarmupInstrs: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 defenses, got %d", len(rows))
+	}
+	if _, err := ReproduceDefenseAblation("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}

@@ -1,0 +1,353 @@
+package timecache
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// runs the corresponding experiment at a reduced (but calibrated)
+// instruction budget and reports the headline quantity through
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the paper's
+// numbers alongside the runtime cost of producing them. The `reproduce`
+// command runs the same experiments at full scale with paper-side-by-side
+// tables.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// benchOpts trades statistical tightness for bench runtime.
+func benchOpts() ExperimentOptions {
+	return ExperimentOptions{InstrsPerProc: 100_000, WarmupInstrs: 150_000}
+}
+
+// BenchmarkFig7SpecNormalizedTime reproduces Fig. 7: normalized execution
+// time of SPEC2006 pairs on one core (paper geomean: 1.13% overhead).
+func BenchmarkFig7SpecNormalizedTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ReproduceTableII(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		prod, n := 1.0, 0
+		for _, r := range rows {
+			prod *= r.Normalized
+			n++
+		}
+		gm := pow(prod, 1/float64(n))
+		b.ReportMetric((gm-1)*100, "overhead-%")
+	}
+}
+
+// BenchmarkFig8FirstAccessMPKI reproduces Fig. 8: delayed-access MPKI per
+// cache level for the single-core SPEC runs.
+func BenchmarkFig8FirstAccessMPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ReproduceTableII(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var l1i, l1d, llc float64
+		for _, r := range rows {
+			l1i += r.FirstAccessL1I
+			l1d += r.FirstAccessL1D
+			llc += r.FirstAccessLLC
+		}
+		n := float64(len(rows))
+		b.ReportMetric(l1i/n, "L1I-faMPKI")
+		b.ReportMetric(l1d/n, "L1D-faMPKI")
+		b.ReportMetric(llc/n, "LLC-faMPKI")
+	}
+}
+
+// BenchmarkFig9aParsecNormalizedTime reproduces Fig. 9a: PARSEC 2-thread
+// 2-core normalized execution time (paper geomean: 0.8% overhead).
+func BenchmarkFig9aParsecNormalizedTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ReproduceParsec(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		prod, n := 1.0, 0
+		for _, r := range rows {
+			prod *= r.Normalized
+			n++
+		}
+		gm := pow(prod, 1/float64(n))
+		b.ReportMetric((gm-1)*100, "overhead-%")
+	}
+}
+
+// BenchmarkFig9bParsecMPKI reproduces Fig. 9b: PARSEC delayed-access MPKI
+// per cache. With threads pinned to separate cores, the L1 components are
+// structurally zero and all first accesses land at the LLC.
+func BenchmarkFig9bParsecMPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ReproduceParsec(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var l1, llc float64
+		for _, r := range rows {
+			l1 += r.FirstAccessL1I + r.FirstAccessL1D
+			llc += r.FirstAccessLLC
+		}
+		b.ReportMetric(l1/float64(len(rows)), "L1-faMPKI")
+		b.ReportMetric(llc/float64(len(rows)), "LLC-faMPKI")
+	}
+}
+
+// BenchmarkTableIIOverheadMPKI reproduces Table II's MPKI columns: the
+// average baseline and TimeCache LLC MPKI across the SPEC workloads
+// (paper averages: 7.26 and 7.51).
+func BenchmarkTableIIOverheadMPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ReproduceTableII(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var base, tc float64
+		for _, r := range rows {
+			base += r.MPKIBaseline
+			tc += r.MPKITimeCache
+		}
+		n := float64(len(rows))
+		b.ReportMetric(base/n, "MPKI-base")
+		b.ReportMetric(tc/n, "MPKI-timecache")
+	}
+}
+
+// BenchmarkFig10LLCSensitivity reproduces Fig. 10: geomean overhead versus
+// LLC size (scaled sweep: at this simulator's budgets eviction pressure
+// appears at proportionally smaller caches; the paper's 1B-instruction
+// runs show the same decreasing shape at 2/4/8 MB).
+func BenchmarkFig10LLCSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ReproduceLLCSensitivity([]int{512 << 10, 1 << 20, 2 << 20}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.OverheadPct, byteLabel(r.LLCSizeBytes)+"-overhead-%")
+		}
+	}
+}
+
+// BenchmarkMicrobenchmarkAttack reproduces §VI-A1: attacker hits on the
+// 256-line shared array, baseline versus TimeCache (paper: all vs zero).
+func BenchmarkMicrobenchmarkAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := RunMicrobenchmark(Baseline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def, err := RunMicrobenchmark(TimeCache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(base.Hits), "baseline-hits")
+		b.ReportMetric(float64(def.Hits), "timecache-hits")
+	}
+}
+
+// BenchmarkRSAAttack reproduces §VI-A2: fraction of RSA key bits recovered
+// by flush+reload (paper: attack succeeds on baseline, fully blocked by
+// the defense).
+func BenchmarkRSAAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, err := RunRSAAttack(Baseline, 64, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def, err := RunRSAAttack(TimeCache, 64, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(base.Accuracy*100, "baseline-key-%")
+		b.ReportMetric(def.Accuracy*100, "timecache-key-%")
+		b.ReportMetric(float64(def.Hits), "timecache-hits")
+	}
+}
+
+// BenchmarkSbitSaveRestore reproduces §VI-D: the context-switch s-bit
+// bookkeeping share of execution time, and its decay as the scheduler
+// slice grows toward realistic lengths (paper: ~0.02%).
+func BenchmarkSbitSaveRestore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ReproduceBookkeepingScaling([]uint64{100_000, 800_000}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].BookkeepingPct, "short-slice-%")
+		b.ReportMetric(rows[len(rows)-1].BookkeepingPct, "long-slice-%")
+		costs := ComputeSbitCosts(benchOpts())
+		b.ReportMetric(float64(costs.DMACyclesPerSwitch), "DMA-cycles/switch")
+	}
+}
+
+// BenchmarkRolloverOverhead reproduces §VI-C: running with a deliberately
+// tiny timestamp (12 bits rolls over every 4096 cycles) forces constant
+// rollover resets; correctness holds and the cost is extra first-access
+// misses relative to the 32-bit configuration.
+func BenchmarkRolloverOverhead(b *testing.B) {
+	run := func(bits uint) uint64 {
+		sys, err := New(Config{Mode: TimeCache, TimestampBits: bits})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := sys.SpawnSpec("gobmk", 0, 60_000, uint64(1001+i*1001)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Run(1 << 62)
+		if !sys.AllExited() {
+			b.Fatal("did not finish")
+		}
+		var fa uint64
+		for _, c := range sys.Stats().Caches {
+			fa += c.FirstAccess
+		}
+		return fa
+	}
+	for i := 0; i < b.N; i++ {
+		wide := run(32)
+		narrow := run(12)
+		b.ReportMetric(float64(wide), "firstaccess-32bit")
+		b.ReportMetric(float64(narrow), "firstaccess-12bit")
+		if narrow < wide {
+			b.Fatal("rollover resets must not reduce first accesses")
+		}
+	}
+}
+
+// BenchmarkOtherAttacks reproduces §VII: accuracy of each non-reuse attack
+// under TimeCache, with and without its designated mitigation.
+func BenchmarkOtherAttacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ff, err := RunFlushFlushAttack(TimeCache, false, 32, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ffFixed, err := RunFlushFlushAttack(TimeCache, true, 32, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coh, err := RunCoherenceAttack(TimeCache, 32, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lru, err := RunLRUAttack(TimeCache, "lru", 32, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp, err := RunPrimeProbeAttack(TimeCache, false, 32, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ff.Accuracy*100, "flushflush-%")
+		b.ReportMetric(ffFixed.Accuracy*100, "flushflush-ctflush-%")
+		b.ReportMetric(coh.Accuracy*100, "coherence-%")
+		b.ReportMetric(lru.Accuracy*100, "lru-%")
+		b.ReportMetric(pp.Accuracy*100, "primeprobe-%")
+	}
+}
+
+// BenchmarkDefenseAblation compares TimeCache's overhead with the FTM,
+// way-partitioning, and flush-on-switch baselines from DESIGN.md.
+func BenchmarkDefenseAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ReproduceDefenseAblation("2Xgobmk", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric((r.Normalized-1)*100, r.Defense+"-overhead-%")
+		}
+	}
+}
+
+// BenchmarkGateLevelComparator measures the cost of simulating the
+// context-switch comparison through the gate-level transposed-SRAM model
+// relative to the functional fast path (results are identical; only
+// simulator time differs).
+func BenchmarkGateLevelComparator(b *testing.B) {
+	opts := ExperimentOptions{InstrsPerProc: 40_000, WarmupInstrs: 60_000, GateLevel: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := ReproduceSpecPair("2Xspecrand", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pow computes x^y for the geomean reductions.
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}
+
+func byteLabel(n int) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%dMB", n>>20)
+	}
+	return fmt.Sprintf("%dKB", n>>10)
+}
+
+// BenchmarkLimitedPointerTracker compares the paper's full per-context
+// s-bit map against the §VI-C limited-pointer area optimization on a
+// 4-context machine (2 cores x 2 SMT threads): pointer overflow converts
+// area savings into extra first-access misses.
+func BenchmarkLimitedPointerTracker(b *testing.B) {
+	run := func(maxSharers int) (firstAccess uint64) {
+		sys, err := New(Config{Mode: TimeCache, Cores: 2, MaxSharers: maxSharers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := sys.SpawnSpec("gobmk", i, 80_000, uint64(1001+i*1001)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Run(1 << 62)
+		if !sys.AllExited() {
+			b.Fatal("did not finish")
+		}
+		for _, c := range sys.Stats().Caches {
+			firstAccess += c.FirstAccess
+		}
+		return firstAccess
+	}
+	for i := 0; i < b.N; i++ {
+		full := run(0)
+		limited := run(1)
+		b.ReportMetric(float64(full), "fullmap-firstaccess")
+		b.ReportMetric(float64(limited), "limited1-firstaccess")
+		if limited < full {
+			b.Fatal("limited pointers must not reduce first accesses")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: modeled
+// instructions per second of wall-clock for a representative workload pair
+// under TimeCache (the figure that bounds how far experiment budgets can
+// be raised).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const instrs = 200_000
+	for i := 0; i < b.N; i++ {
+		sys, err := New(Config{Mode: TimeCache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 2; j++ {
+			if _, err := sys.SpawnSpec("gobmk", 0, instrs, uint64(1001+j*1001)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Run(1 << 62)
+		if !sys.AllExited() {
+			b.Fatal("did not finish")
+		}
+	}
+	b.ReportMetric(float64(2*instrs*b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}

@@ -1,0 +1,135 @@
+// Command timecache-sim runs a mix of workload models on a simulated
+// machine and prints per-cache statistics, normalized against an optional
+// baseline run.
+//
+// Usage:
+//
+//	timecache-sim -mode timecache -workloads lbm,wrf -instrs 300000
+//	timecache-sim -mode baseline  -workloads 2Xperlbench
+//	timecache-sim -compare -workloads 2Xlbm   # run baseline AND timecache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"timecache"
+	"timecache/internal/stats"
+)
+
+func main() {
+	var (
+		modeFlag  = flag.String("mode", "timecache", "defense mode: baseline | timecache | ftm")
+		workloads = flag.String("workloads", "2Xlbm", "comma-separated SPEC profile names, or 2X<name> for a pair")
+		instrs    = flag.Uint64("instrs", 300_000, "instructions per process")
+		llc       = flag.Int("llc", 2<<20, "LLC size in bytes")
+		cores     = flag.Int("cores", 1, "number of cores")
+		compare   = flag.Bool("compare", false, "run baseline and timecache and report normalized time")
+		gate      = flag.Bool("gatelevel", false, "use the gate-level bit-serial comparator")
+	)
+	flag.Parse()
+
+	if *compare {
+		if err := runCompare(*workloads, *instrs, *llc, *cores, *gate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cycles, st, err := runOnce(mode, *workloads, *instrs, *llc, *cores, *gate)
+	if err != nil {
+		fatal(err)
+	}
+	printStats(mode, cycles, st)
+}
+
+func parseMode(s string) (timecache.Mode, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return timecache.Baseline, nil
+	case "timecache":
+		return timecache.TimeCache, nil
+	case "ftm":
+		return timecache.FTM, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+// expand turns "2Xlbm" into ["lbm","lbm"] and passes other names through.
+func expand(list string) []string {
+	var out []string
+	for _, w := range strings.Split(list, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if strings.HasPrefix(w, "2X") {
+			name := strings.TrimPrefix(w, "2X")
+			out = append(out, name, name)
+		} else {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func runOnce(mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate bool) (uint64, timecache.Stats, error) {
+	sys, err := timecache.New(timecache.Config{
+		Mode: mode, LLCSize: llc, Cores: cores, GateLevel: gate,
+	})
+	if err != nil {
+		return 0, timecache.Stats{}, err
+	}
+	names := expand(workloads)
+	if len(names) == 0 {
+		return 0, timecache.Stats{}, fmt.Errorf("no workloads given")
+	}
+	for i, name := range names {
+		if _, err := sys.SpawnSpec(name, i%cores, instrs, uint64(1001+i*1001)); err != nil {
+			return 0, timecache.Stats{}, err
+		}
+	}
+	cycles := sys.Run(1 << 62)
+	if !sys.AllExited() {
+		return 0, timecache.Stats{}, fmt.Errorf("workloads did not finish")
+	}
+	return cycles, sys.Stats(), nil
+}
+
+func runCompare(workloads string, instrs uint64, llc, cores int, gate bool) error {
+	bCycles, _, err := runOnce(timecache.Baseline, workloads, instrs, llc, cores, gate)
+	if err != nil {
+		return err
+	}
+	tCycles, st, err := runOnce(timecache.TimeCache, workloads, instrs, llc, cores, gate)
+	if err != nil {
+		return err
+	}
+	printStats(timecache.TimeCache, tCycles, st)
+	norm := float64(tCycles) / float64(bCycles)
+	fmt.Printf("\nbaseline cycles : %d\n", bCycles)
+	fmt.Printf("timecache cycles: %d\n", tCycles)
+	fmt.Printf("normalized time : %.4f (%.2f%% overhead, cold start included)\n",
+		norm, (norm-1)*100)
+	return nil
+}
+
+func printStats(mode timecache.Mode, cycles uint64, st timecache.Stats) {
+	fmt.Printf("mode=%s cycles=%d switches=%d syscalls=%d bookkeeping=%d cycles\n\n",
+		mode, cycles, st.ContextSwitches, st.Syscalls, st.BookkeepingCycles)
+	tb := stats.NewTable("cache", "accesses", "hits", "misses", "first-access", "evictions")
+	for _, c := range st.Caches {
+		tb.Add(c.Name, c.Accesses, c.Hits, c.Misses, c.FirstAccess, c.Evictions)
+	}
+	fmt.Print(tb.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "timecache-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+// Command trace-tool records workload-model memory traces to files,
+// inspects them, and replays them through configurable machines — so a
+// trace captured once can be re-run against baseline and TimeCache
+// hierarchies (or different cache sizes) for exact A/B comparisons.
+//
+// Usage:
+//
+//	trace-tool record -workload gobmk -instrs 100000 -o gobmk.trace
+//	trace-tool info   -i gobmk.trace
+//	trace-tool replay -i gobmk.trace -mode timecache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timecache/internal/cache"
+	"timecache/internal/kernel"
+	"timecache/internal/mem"
+	"timecache/internal/stats"
+	"timecache/internal/trace"
+	"timecache/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fatal(fmt.Errorf("usage: trace-tool record|info|replay [flags]"))
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func machine(mode cache.SecMode) *kernel.Kernel {
+	hcfg := cache.DefaultHierarchyConfig()
+	hcfg.Mode = mode
+	hier := cache.NewHierarchy(hcfg)
+	phys := mem.NewPhysical(16384, hcfg.DRAMLat)
+	return kernel.New(kernel.DefaultConfig(), hier, phys)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	name := fs.String("workload", "gobmk", "SPEC workload model to record")
+	instrs := fs.Uint64("instrs", 100_000, "instructions to record")
+	seed := fs.Uint64("seed", 7, "workload seed")
+	out := fs.String("o", "workload.trace", "output trace file")
+	fs.Parse(args)
+
+	prof, err := workload.Spec(*name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	k := machine(cache.SecOff)
+	as, err := workload.BuildSharedAS(k, prof)
+	if err != nil {
+		return err
+	}
+	w := trace.NewWriter(f)
+	rec := &trace.RecordingProc{Inner: workload.NewProc(prof, *instrs, *seed), W: w}
+	if _, err := k.Spawn(*name, rec, as, 0); err != nil {
+		return err
+	}
+	k.Run(1 << 62)
+	if rec.Err != nil {
+		return rec.Err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d records from %s (%d instructions) to %s\n",
+		w.Count(), *name, *instrs, *out)
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "workload.trace", "trace file")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	counts := map[trace.Kind]int{}
+	lines := map[uint64]bool{}
+	for _, r := range recs {
+		counts[r.Kind]++
+		switch r.Kind {
+		case trace.KindFetch, trace.KindLoad, trace.KindStore, trace.KindFlush:
+			lines[r.Addr&^63] = true
+		}
+	}
+	fmt.Printf("%s: %d records, %d distinct lines touched\n", *in, len(recs), len(lines))
+	tb := stats.NewTable("kind", "count")
+	for k := trace.Kind(0); counts[k] > 0 || k <= trace.KindInstret; k++ {
+		tb.Add(k.String(), counts[k])
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "workload.trace", "trace file")
+	modeFlag := fs.String("mode", "timecache", "baseline | timecache | ftm")
+	fs.Parse(args)
+
+	var mode cache.SecMode
+	switch *modeFlag {
+	case "baseline":
+		mode = cache.SecOff
+	case "timecache":
+		mode = cache.SecTimeCache
+	case "ftm":
+		mode = cache.SecFTM
+	default:
+		return fmt.Errorf("unknown mode %q", *modeFlag)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+
+	k := machine(mode)
+	// Replay into a flat identity-mapped space big enough for the trace's
+	// addresses: map every page the trace touches.
+	as := kernel.NewAddressSpace(k.Physical())
+	mapped := map[uint64]bool{}
+	for _, r := range recs {
+		switch r.Kind {
+		case trace.KindFetch, trace.KindLoad, trace.KindStore, trace.KindFlush:
+			page := r.Addr &^ (mem.PageSize - 1)
+			if !mapped[page] {
+				mapped[page] = true
+				if err := as.MapAnon(page, mem.PageSize, true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	rep := &trace.ReplayProc{Records: recs}
+	if _, err := k.Spawn("replay", rep, as, 0); err != nil {
+		return err
+	}
+	cycles := k.Run(1 << 62)
+	fmt.Printf("replayed %d records in %d cycles (mode=%s)\n", rep.Replayed(), cycles, mode)
+	tb := stats.NewTable("cache", "accesses", "hits", "misses", "first-access")
+	for _, c := range k.Hierarchy().Caches() {
+		tb.Add(c.Name(), c.Stats.Accesses, c.Stats.Hits, c.Stats.Misses, c.Stats.FirstAccess)
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace-tool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module timecache
+
+go 1.22

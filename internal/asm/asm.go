@@ -1,0 +1,556 @@
+// Package asm is a two-pass assembler for μRISC source text.
+//
+// Syntax, one statement per line (';' or '#' start a comment):
+//
+//	.text                ; switch to the text section (default)
+//	.data                ; private initialized data
+//	.shared              ; data mapped to shared physical frames
+//	.quad 1, 2, label    ; emit 8-byte little-endian words (data sections)
+//	.space 128           ; emit zero bytes (data sections)
+//	label:               ; define a label at the current location
+//	movi r1, 0x40        ; instructions (text section only)
+//	ld   r2, [r1+8]
+//	st   [r1], r2
+//	beq  r1, r2, done
+//
+// Immediates are decimal or 0x-hex, optionally negative, or a label name
+// (optionally label+offset / label-offset). Registers are r0..r15; r0 reads
+// as zero, r15 is the stack pointer (also writable as "sp").
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"timecache/internal/isa"
+)
+
+// Layout fixes the virtual addresses of the program segments.
+type Layout struct {
+	TextBase   uint64
+	DataBase   uint64
+	SharedBase uint64
+	StackTop   uint64
+	StackSize  uint64
+}
+
+// DefaultLayout places text at 64 KiB with data, shared-library image, and
+// stack in distinct, page-aligned regions.
+func DefaultLayout() Layout {
+	return Layout{
+		TextBase:   0x0001_0000,
+		DataBase:   0x0010_0000,
+		SharedBase: 0x0100_0000,
+		StackTop:   0x00F0_0000,
+		StackSize:  64 << 10,
+	}
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+	secShared
+)
+
+// Error is an assembly error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type fixup struct {
+	line  int
+	instr int // index into instrs
+	word  int // byte offset of a .quad in data/shared, -1 for instr
+	sec   section
+	expr  string
+}
+
+type assembler struct {
+	layout Layout
+	sec    section
+	instrs []isa.Instr
+	data   []byte
+	shared []byte
+	labels map[string]uint64
+	fixups []fixup
+}
+
+// Assemble translates source into a Program using the default layout.
+func Assemble(src string) (*isa.Program, error) {
+	return AssembleLayout(src, DefaultLayout())
+}
+
+// AssembleLayout translates source into a Program with an explicit layout.
+func AssembleLayout(src string, layout Layout) (*isa.Program, error) {
+	a := &assembler{layout: layout, labels: map[string]uint64{}}
+	for ln, raw := range strings.Split(src, "\n") {
+		if err := a.line(ln+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	return &isa.Program{
+		TextBase:   layout.TextBase,
+		Instrs:     a.instrs,
+		DataBase:   layout.DataBase,
+		Data:       a.data,
+		SharedBase: layout.SharedBase,
+		Shared:     a.shared,
+		StackTop:   layout.StackTop,
+		StackSize:  layout.StackSize,
+		Labels:     a.labels,
+		Entry:      layout.TextBase,
+	}, nil
+}
+
+func (a *assembler) here() uint64 {
+	switch a.sec {
+	case secText:
+		return a.layout.TextBase + uint64(len(a.instrs))*isa.InstrBytes
+	case secData:
+		return a.layout.DataBase + uint64(len(a.data))
+	default:
+		return a.layout.SharedBase + uint64(len(a.shared))
+	}
+}
+
+func (a *assembler) line(ln int, raw string) error {
+	s := raw
+	// Strip the comment, honoring quoted strings (so `.ascii "a;b"` works).
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"' && (i == 0 || s[i-1] != '\\'):
+			inStr = !inStr
+		case !inStr && (s[i] == ';' || s[i] == '#'):
+			s = s[:i]
+			i = len(s)
+		}
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several) at line start.
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[:i])
+		if !validIdent(name) {
+			return &Error{ln, fmt.Sprintf("invalid label %q", name)}
+		}
+		if _, dup := a.labels[name]; dup {
+			return &Error{ln, fmt.Sprintf("duplicate label %q", name)}
+		}
+		a.labels[name] = a.here()
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(ln, s)
+	}
+	if a.sec != secText {
+		return &Error{ln, "instructions are only allowed in .text"}
+	}
+	return a.instr(ln, s)
+}
+
+func (a *assembler) directive(ln int, s string) error {
+	name, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".shared":
+		a.sec = secShared
+	case ".quad":
+		if a.sec == secText {
+			return &Error{ln, ".quad not allowed in .text"}
+		}
+		for _, f := range splitOperands(rest) {
+			buf := a.curData()
+			off := len(*buf)
+			*buf = append(*buf, make([]byte, 8)...)
+			if v, err := parseInt(f); err == nil {
+				putU64(*buf, off, uint64(v))
+			} else {
+				a.fixups = append(a.fixups, fixup{line: ln, word: off, sec: a.sec, expr: f, instr: -1})
+			}
+		}
+	case ".space":
+		if a.sec == secText {
+			return &Error{ln, ".space not allowed in .text"}
+		}
+		n, err := parseInt(rest)
+		if err != nil || n < 0 {
+			return &Error{ln, fmt.Sprintf("bad .space size %q", rest)}
+		}
+		buf := a.curData()
+		*buf = append(*buf, make([]byte, n)...)
+	case ".byte":
+		if a.sec == secText {
+			return &Error{ln, ".byte not allowed in .text"}
+		}
+		buf := a.curData()
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil || v < 0 || v > 255 {
+				return &Error{ln, fmt.Sprintf("bad byte value %q", f)}
+			}
+			*buf = append(*buf, byte(v))
+		}
+	case ".ascii":
+		if a.sec == secText {
+			return &Error{ln, ".ascii not allowed in .text"}
+		}
+		str, err := parseString(rest)
+		if err != nil {
+			return &Error{ln, err.Error()}
+		}
+		buf := a.curData()
+		*buf = append(*buf, str...)
+	case ".align":
+		if a.sec == secText {
+			return &Error{ln, ".align not allowed in .text"}
+		}
+		n, err := parseInt(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return &Error{ln, fmt.Sprintf("bad .align boundary %q (power of two required)", rest)}
+		}
+		buf := a.curData()
+		for uint64(len(*buf))%uint64(n) != 0 {
+			*buf = append(*buf, 0)
+		}
+	default:
+		return &Error{ln, fmt.Sprintf("unknown directive %s", name)}
+	}
+	return nil
+}
+
+func (a *assembler) curData() *[]byte {
+	if a.sec == secData {
+		return &a.data
+	}
+	return &a.shared
+}
+
+func (a *assembler) instr(ln int, s string) error {
+	mn, rest, _ := strings.Cut(s, " ")
+	mn = strings.ToLower(mn)
+	op, ok := isa.OpByName[mn]
+	if !ok {
+		return &Error{ln, fmt.Sprintf("unknown mnemonic %q", mn)}
+	}
+	ops := splitOperands(strings.TrimSpace(rest))
+	in := isa.Instr{Op: op}
+	fail := func(format string, args ...any) error {
+		return &Error{ln, fmt.Sprintf(format, args...)}
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fail("%s takes %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(tok string) (uint8, error) {
+		r, err := parseReg(tok)
+		if err != nil {
+			return 0, fail("%v", err)
+		}
+		return r, nil
+	}
+	// imm parses an immediate now or defers it to the fixup pass.
+	imm := func(tok string) error {
+		if v, err := parseInt(tok); err == nil {
+			in.Imm = v
+			return nil
+		}
+		a.fixups = append(a.fixups, fixup{line: ln, instr: len(a.instrs), word: -1, expr: tok})
+		return nil
+	}
+
+	var err error
+	switch op {
+	case isa.NOP, isa.HALT, isa.RET, isa.FENCE:
+		err = need(0)
+	case isa.MOVI:
+		if err = need(2); err == nil {
+			if in.Rd, err = reg(ops[0]); err == nil {
+				err = imm(ops[1])
+			}
+		}
+	case isa.MOV, isa.NOT:
+		if err = need(2); err == nil {
+			if in.Rd, err = reg(ops[0]); err == nil {
+				in.Rs, err = reg(ops[1])
+			}
+		}
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR:
+		if err = need(3); err == nil {
+			if in.Rd, err = reg(ops[0]); err == nil {
+				if in.Rs, err = reg(ops[1]); err == nil {
+					in.Rt, err = reg(ops[2])
+				}
+			}
+		}
+	case isa.ADDI, isa.SHLI, isa.SHRI:
+		if err = need(3); err == nil {
+			if in.Rd, err = reg(ops[0]); err == nil {
+				if in.Rs, err = reg(ops[1]); err == nil {
+					err = imm(ops[2])
+				}
+			}
+		}
+	case isa.LD:
+		if err = need(2); err == nil {
+			if in.Rd, err = reg(ops[0]); err == nil {
+				in.Rs, in.Imm, err = a.parseMem(ln, ops[1])
+			}
+		}
+	case isa.ST:
+		if err = need(2); err == nil {
+			if in.Rs, in.Imm, err = a.parseMem(ln, ops[0]); err == nil {
+				in.Rt, err = reg(ops[1])
+			}
+		}
+	case isa.CLFLUSH:
+		if err = need(1); err == nil {
+			in.Rs, in.Imm, err = a.parseMem(ln, ops[0])
+		}
+	case isa.RDTSC, isa.POP:
+		if err = need(1); err == nil {
+			in.Rd, err = reg(ops[0])
+		}
+	case isa.PUSH:
+		if err = need(1); err == nil {
+			in.Rs, err = reg(ops[0])
+		}
+	case isa.JMP, isa.CALL:
+		if err = need(1); err == nil {
+			err = imm(ops[0])
+		}
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		if err = need(3); err == nil {
+			if in.Rs, err = reg(ops[0]); err == nil {
+				if in.Rt, err = reg(ops[1]); err == nil {
+					err = imm(ops[2])
+				}
+			}
+		}
+	case isa.SYS:
+		if err = need(1); err == nil {
+			err = imm(ops[0])
+		}
+	default:
+		err = fail("unhandled mnemonic %q", mn)
+	}
+	if err != nil {
+		return err
+	}
+	a.instrs = append(a.instrs, in)
+	return nil
+}
+
+// parseMem parses "[rN]", "[rN+imm]", "[rN-imm]", with imm possibly a label.
+func (a *assembler) parseMem(ln int, tok string) (uint8, int64, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, &Error{ln, fmt.Sprintf("bad memory operand %q", tok)}
+	}
+	inner := strings.TrimSpace(tok[1 : len(tok)-1])
+	regTok := inner
+	offTok := ""
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			regTok, offTok = strings.TrimSpace(inner[:i]), strings.TrimSpace(inner[i:])
+			break
+		}
+	}
+	r, err := parseReg(regTok)
+	if err != nil {
+		return 0, 0, &Error{ln, err.Error()}
+	}
+	if offTok == "" {
+		return r, 0, nil
+	}
+	v, err := parseInt(offTok)
+	if err != nil {
+		return 0, 0, &Error{ln, fmt.Sprintf("bad offset %q", offTok)}
+	}
+	return r, v, nil
+}
+
+func (a *assembler) resolve() error {
+	for _, f := range a.fixups {
+		v, err := a.eval(f.expr)
+		if err != nil {
+			return &Error{f.line, err.Error()}
+		}
+		if f.word >= 0 {
+			switch f.sec {
+			case secData:
+				putU64(a.data, f.word, uint64(v))
+			case secShared:
+				putU64(a.shared, f.word, uint64(v))
+			}
+		} else {
+			a.instrs[f.instr].Imm = v
+		}
+	}
+	return nil
+}
+
+// eval resolves "label", "label+N", or "label-N".
+func (a *assembler) eval(expr string) (int64, error) {
+	name, off := expr, int64(0)
+	for i := 1; i < len(expr); i++ {
+		if expr[i] == '+' || expr[i] == '-' {
+			v, err := parseInt(expr[i:])
+			if err != nil {
+				return 0, fmt.Errorf("bad expression %q", expr)
+			}
+			name, off = expr[:i], v
+			break
+		}
+	}
+	addr, ok := a.labels[name]
+	if !ok {
+		return 0, fmt.Errorf("undefined symbol %q", name)
+	}
+	return int64(addr) + off, nil
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	// Split on commas not inside brackets.
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseReg(tok string) (uint8, error) {
+	t := strings.ToLower(strings.TrimSpace(tok))
+	if t == "sp" {
+		return isa.RSP, nil
+	}
+	if len(t) >= 2 && t[0] == 'r' {
+		if n, err := strconv.Atoi(t[1:]); err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+func parseInt(tok string) (int64, error) {
+	t := strings.TrimSpace(tok)
+	neg := false
+	if strings.HasPrefix(t, "+") {
+		t = t[1:]
+	} else if strings.HasPrefix(t, "-") {
+		neg, t = true, t[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(t, "0x") || strings.HasPrefix(t, "0X") {
+		v, err = strconv.ParseUint(t[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(t, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseString parses a double-quoted string with \n, \t, \\, \" and \0
+// escapes.
+func parseString(tok string) ([]byte, error) {
+	t := strings.TrimSpace(tok)
+	if len(t) < 2 || t[0] != '"' || t[len(t)-1] != '"' {
+		return nil, fmt.Errorf("bad string literal %q", tok)
+	}
+	body := t[1 : len(t)-1]
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("dangling escape in %q", tok)
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		case '0':
+			out = append(out, 0)
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func putU64(b []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}

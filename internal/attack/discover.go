@@ -1,0 +1,100 @@
+package attack
+
+import (
+	"fmt"
+
+	"timecache/internal/cache"
+	"timecache/internal/kernel"
+	"timecache/internal/sim"
+)
+
+// DiscoverEvictionSet finds a minimal LLC eviction set for target using
+// *timing only* — the technique a real attacker uses when it cannot read
+// the page tables (and what BuildEvictionSet shortcuts constructively):
+//
+//  1. Allocate a pool of candidate lines large enough to cover every set.
+//  2. Confirm the pool evicts the target (load target, sweep pool, re-time
+//     target: slow reload means conflict).
+//  3. Group-reduce: repeatedly drop a chunk of candidates and keep the
+//     remainder only if it still evicts the target.
+//
+// The reduction leaves roughly `ways` conflicting lines. It runs inline on
+// proc's CPU (kernel.RunInline), as the attacker's single-threaded setup
+// phase. Returns the discovered eviction set as virtual addresses.
+func DiscoverEvictionSet(m *Machine, proc *kernel.Process, target uint64, poolBase uint64) ([]uint64, error) {
+	llc := m.K.Hierarchy().LLC()
+	ways := llc.Ways()
+	// Pool: enough pages that each LLC set receives ~2*ways candidate
+	// lines. One page contributes 64 lines spread over 64 consecutive sets,
+	// so sets*2*ways/64 pages cover the whole cache twice over.
+	pages := llc.Sets() * 2 * ways / 64
+	poolBytes := uint64(pages) * 4096
+	if err := proc.AS.MapAnon(poolBase, poolBytes, true); err != nil {
+		return nil, fmt.Errorf("attack: discovery pool: %w", err)
+	}
+	candidates := make([]uint64, 0, pages*64)
+	for off := uint64(0); off < poolBytes; off += cache.LineSize {
+		candidates = append(candidates, poolBase+off)
+	}
+
+	threshold := m.HitThreshold()
+	var set []uint64
+	err := m.K.RunInline(proc, func(env sim.Env) {
+		// evicts tests whether cand displaces target from the LLC. The
+		// candidates are flushed first so every sweep load is a fresh
+		// insertion — re-touching a resident line only refreshes LRU and
+		// would make supersets spuriously fail the test.
+		evicts := func(cand []uint64) bool {
+			for _, a := range cand {
+				env.Flush(a)
+			}
+			env.Flush(target)
+			env.Load(target)
+			for _, a := range cand {
+				env.Load(a)
+			}
+			t0 := env.Now()
+			env.Load(target)
+			return env.Now()-t0 > threshold
+		}
+		if !evicts(candidates) {
+			return // pool too small; set stays nil
+		}
+		// Group reduction (Vila et al. style): partition the working set
+		// into exactly ways+1 groups each round. Only `ways` conflicting
+		// lines are necessary to evict the target, and they lie in at most
+		// `ways` groups, so some group is always removable until the set
+		// is near-minimal.
+		work := candidates
+		groups := ways + 1
+		for len(work) > ways {
+			removed := false
+			for g := 0; g < groups && len(work) > ways; g++ {
+				start := g * len(work) / groups
+				end := (g + 1) * len(work) / groups
+				if start == end {
+					continue
+				}
+				rest := make([]uint64, 0, len(work)-(end-start))
+				rest = append(rest, work[:start]...)
+				rest = append(rest, work[end:]...)
+				if evicts(rest) {
+					work = rest
+					removed = true
+					break
+				}
+			}
+			if !removed {
+				break // minimal: removing any group loses the conflict
+			}
+		}
+		set = work
+	})
+	if err != nil {
+		return nil, err
+	}
+	if set == nil {
+		return nil, fmt.Errorf("attack: candidate pool does not evict the target")
+	}
+	return set, nil
+}

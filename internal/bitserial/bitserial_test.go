@@ -1,0 +1,166 @@
+package bitserial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSRLatch(t *testing.T) {
+	var l SRLatch
+	if l.Q() {
+		t.Fatal("latch must start reset")
+	}
+	if !l.Apply(true, false) {
+		t.Fatal("set must drive Q high")
+	}
+	if !l.Apply(false, false) {
+		t.Fatal("latch must hold")
+	}
+	if l.Apply(false, true) {
+		t.Fatal("reset must drive Q low")
+	}
+	l.Apply(true, false)
+	l.Reset()
+	if l.Q() {
+		t.Fatal("Reset must clear")
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	a := NewArray(130, 32) // >2 words of lines, odd count
+	vals := []uint64{0, 1, 0xFFFFFFFF, 0xDEADBEEF, 1 << 31, 0x12345678}
+	for i, v := range vals {
+		a.Store(i*17, v)
+	}
+	for i, v := range vals {
+		if got := a.Load(i * 17); got != v {
+			t.Errorf("line %d: load = %#x, want %#x", i*17, got, v)
+		}
+	}
+}
+
+func TestStoreTruncatesToWidth(t *testing.T) {
+	a := NewArray(4, 8)
+	a.Store(0, 0x1FF) // 9 bits; top bit must be dropped
+	if got := a.Load(0); got != 0xFF {
+		t.Fatalf("load = %#x, want 0xFF", got)
+	}
+}
+
+func TestShiftRegisterMSBFirst(t *testing.T) {
+	sr := NewShiftRegister(0b1100, 4)
+	want := []bool{true, true, false, false}
+	for i, w := range want {
+		if got := sr.Shift(); got != w {
+			t.Fatalf("bit %d = %v, want %v", i, got, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shifting past the end must panic")
+		}
+	}()
+	sr.Shift()
+}
+
+func TestCompareGTPaperExample(t *testing.T) {
+	// From the paper §V-C2: the greater of 1100 and 0101 is decided at the
+	// MSB. With Tc=1100 and Ts=0101, Tc > Ts must be flagged.
+	a := NewArray(2, 4)
+	a.Store(0, 0b1100)
+	a.Store(1, 0b0101)
+	mask := a.CompareGT(0b0101)
+	if mask[0]&1 == 0 {
+		t.Error("line 0 (Tc=1100 > Ts=0101) must be flagged")
+	}
+	if mask[0]&2 != 0 {
+		t.Error("line 1 (Tc=0101 == Ts) must not be flagged")
+	}
+}
+
+func TestCompareGTEdges(t *testing.T) {
+	a := NewArray(3, 32)
+	a.Store(0, 100) // == Ts
+	a.Store(1, 99)  // < Ts
+	a.Store(2, 101) // > Ts
+	mask := a.CompareGT(100)
+	if mask[0]&0b001 != 0 {
+		t.Error("equal timestamps: not greater")
+	}
+	if mask[0]&0b010 != 0 {
+		t.Error("smaller timestamp: not greater")
+	}
+	if mask[0]&0b100 == 0 {
+		t.Error("larger timestamp: must be greater")
+	}
+}
+
+// Property: the gate-level comparator matches plain unsigned comparison for
+// random timestamps at several widths.
+func TestCompareGTMatchesReference(t *testing.T) {
+	for _, bits := range []uint{1, 4, 8, 17, 32, 64} {
+		bits := bits
+		f := func(seed int64, tsRaw uint64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			const lines = 100
+			a := NewArray(lines, bits)
+			tcs := make([]uint64, lines)
+			for i := range tcs {
+				tcs[i] = rng.Uint64()
+				a.Store(i, tcs[i])
+			}
+			got := a.CompareGT(tsRaw)
+			want := ReferenceGT(tcs, tsRaw, bits)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("width %d: %v", bits, err)
+		}
+	}
+}
+
+func TestCompareIsRepeatable(t *testing.T) {
+	// Latches must be reset between comparisons: a second compare with a
+	// different Ts must not be polluted by the first.
+	a := NewArray(1, 8)
+	a.Store(0, 50)
+	if m := a.CompareGT(10); m[0]&1 == 0 {
+		t.Fatal("50 > 10")
+	}
+	if m := a.CompareGT(200); m[0]&1 != 0 {
+		t.Fatal("50 < 200: stale latch state leaked into second comparison")
+	}
+}
+
+func TestConstantIterationCount(t *testing.T) {
+	a := NewArray(8, 32)
+	if a.Iterations() != 32 {
+		t.Fatalf("iterations = %d, want 32", a.Iterations())
+	}
+}
+
+func TestReferenceGTWidthMasking(t *testing.T) {
+	// At 8 bits, 0x1FF and 0x0FF are the same timestamp.
+	m := ReferenceGT([]uint64{0x1FF}, 0xFF, 8)
+	if m[0]&1 != 0 {
+		t.Error("0x1FF masked to 8 bits equals Ts=0xFF; not greater")
+	}
+}
+
+func BenchmarkCompareGT32K(b *testing.B) {
+	a := NewArray(32768, 32) // 2 MB LLC worth of lines
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 32768; i++ {
+		a.Store(i, rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.CompareGT(uint64(i))
+	}
+}

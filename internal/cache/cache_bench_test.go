@@ -1,0 +1,52 @@
+package cache
+
+import "testing"
+
+// BenchmarkAccessL1Hit measures the simulator's hottest path: an L1 hit.
+func BenchmarkAccessL1Hit(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Access(0, 0, 0x1000, Load)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i), 0, 0x1000, Load)
+	}
+}
+
+// BenchmarkAccessL1HitTimeCache measures the s-bit check overhead on hits.
+func BenchmarkAccessL1HitTimeCache(b *testing.B) {
+	cfg := DefaultHierarchyConfig()
+	cfg.Mode = SecTimeCache
+	h := NewHierarchy(cfg)
+	h.Access(0, 0, 0x1000, Load)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i), 0, 0x1000, Load)
+	}
+}
+
+// BenchmarkAccessStreamMiss measures the full miss/fill path.
+func BenchmarkAccessStreamMiss(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i), 0, uint64(i)*LineSize, Load)
+	}
+}
+
+// BenchmarkContextSwitchRestore measures the kernel-visible cost of a full
+// s-bit save+restore over the paper's cache sizes (32K L1s + 2MB LLC).
+func BenchmarkContextSwitchRestore(b *testing.B) {
+	cfg := DefaultHierarchyConfig()
+	cfg.Mode = SecTimeCache
+	h := NewHierarchy(cfg)
+	for i := 0; i < 4096; i++ {
+		h.Access(uint64(i), 0, uint64(i)*LineSize, Load)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cc := range h.SecCaches(0) {
+			v := cc.Cache.Sec().SaveColumn(cc.LocalCtx)
+			cc.Cache.Sec().RestoreColumn(cc.LocalCtx, v, uint64(i), uint64(i)+1)
+		}
+	}
+}

@@ -1,0 +1,554 @@
+package cache
+
+import (
+	"fmt"
+
+	"timecache/internal/clock"
+	"timecache/internal/core"
+	"timecache/internal/replacement"
+)
+
+// SecMode selects which defense, if any, the hierarchy applies.
+type SecMode int
+
+// Defense modes.
+const (
+	// SecOff is the insecure baseline: every resident line hits.
+	SecOff SecMode = iota
+	// SecTimeCache is the paper's defense: per-context s-bits at every
+	// level, saved/restored across context switches with Tc/Ts updates.
+	SecTimeCache
+	// SecFTM is the First Time Miss baseline (paper §VIII-B2): presence
+	// bits per core at the LLC only, with no context-switch bookkeeping.
+	SecFTM
+)
+
+func (m SecMode) String() string {
+	switch m {
+	case SecOff:
+		return "baseline"
+	case SecTimeCache:
+		return "timecache"
+	case SecFTM:
+		return "ftm"
+	default:
+		return fmt.Sprintf("SecMode(%d)", int(m))
+	}
+}
+
+// HierarchyConfig describes a full memory hierarchy.
+type HierarchyConfig struct {
+	Cores          int
+	ThreadsPerCore int
+
+	L1Size  int
+	L1Ways  int
+	L1Lat   uint64
+	LLCSize int
+	LLCWays int
+	LLCLat  uint64
+
+	// DRAMLat is the memory access latency in cycles.
+	DRAMLat uint64
+	// RemoteL1Lat is the extra latency of a dirty line forwarded from
+	// another core's L1 (between LLC and DRAM; needed for the
+	// invalidate+transfer attack of §VII-B).
+	RemoteL1Lat uint64
+
+	// FlushBase is the latency of a clflush that finds nothing cached;
+	// FlushPresentExtra is added when the line was resident, and
+	// FlushDirtyExtra when a dirty copy had to be written back. The
+	// differences are the flush+flush channel (§VII-C); setting
+	// ConstantTimeFlush charges FlushBase+FlushPresentExtra+FlushDirtyExtra
+	// always (the paper's suggested mitigation: dummy writeback).
+	FlushBase         uint64
+	FlushPresentExtra uint64
+	FlushDirtyExtra   uint64
+	ConstantTimeFlush bool
+
+	Policy     replacement.Kind
+	PolicySeed uint64
+
+	Mode SecMode
+	// Sec configures TimeCache metadata (timestamp width, gate-level).
+	Sec core.Config
+
+	// Partitioned enables DAWG-lite way-partitioning of every cache across
+	// security domains (defense baseline for ablation). The active domain
+	// of each core is set by the OS at context switch via SetActiveDomain,
+	// so time-multiplexed processes are isolated too.
+	Partitioned bool
+	// PartitionDomains is the number of security domains when Partitioned
+	// (DAWG supports at most 16); defaults to 2.
+	PartitionDomains int
+	// IndexRand, when nonzero, enables CEASER-lite index randomization of
+	// the LLC with the given key.
+	IndexRand uint64
+
+	// NextLinePrefetch enables a simple next-line prefetcher: every demand
+	// miss also fills lineAddr+64 in the background (no latency charged to
+	// the triggering access). Prefetched lines carry the *requesting*
+	// context's s-bit, so prefetching does not weaken TimeCache: a line
+	// prefetched on behalf of the victim is still a first access for the
+	// attacker.
+	NextLinePrefetch bool
+}
+
+// DefaultHierarchyConfig mirrors the paper's gem5 setup: 32 KB 8-way L1I and
+// L1D, 2 MB 16-way LLC, TimingSimpleCPU-style latencies at 2 GHz.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		Cores:             1,
+		ThreadsPerCore:    1,
+		L1Size:            32 << 10,
+		L1Ways:            8,
+		L1Lat:             2,
+		LLCSize:           2 << 20,
+		LLCWays:           16,
+		LLCLat:            20,
+		DRAMLat:           200,
+		RemoteL1Lat:       60,
+		FlushBase:         40,
+		FlushPresentExtra: 40,
+		FlushDirtyExtra:   40,
+		Policy:            replacement.LRU,
+		Sec:               core.DefaultConfig(),
+	}
+}
+
+// Result describes one memory access.
+type Result struct {
+	// Latency is the total cycles the access took.
+	Latency uint64
+	// Hit reports whether the access was serviced as an L1 hit (visible).
+	Hit bool
+	// FirstAccess reports whether any level delayed the access because a
+	// resident line's s-bit was clear.
+	FirstAccess bool
+	// Level is the level that supplied the data: 1 = L1, 2 = LLC,
+	// 3 = memory (or remote L1 forward).
+	Level int
+}
+
+// Hierarchy is a multi-core cache hierarchy with a shared inclusive LLC.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1i []*Cache // per core
+	l1d []*Cache // per core
+	llc *Cache
+	// activeDomain is each core's current security domain (partitioned
+	// mode); the OS updates it at context switches.
+	activeDomain []int
+}
+
+// SetActiveDomain records the security domain of the process now running
+// on a core; cache partitioning confines its fills and lookups to that
+// domain's ways.
+func (h *Hierarchy) SetActiveDomain(core, domain int) {
+	if h.cfg.Partitioned {
+		h.activeDomain[core] = domain % h.partitionDomains()
+	}
+}
+
+func (h *Hierarchy) partitionDomains() int {
+	if h.cfg.PartitionDomains > 0 {
+		return h.cfg.PartitionDomains
+	}
+	return 2
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if cfg.Cores <= 0 || cfg.ThreadsPerCore <= 0 {
+		panic("cache: cores and threads must be positive")
+	}
+	h := &Hierarchy{cfg: cfg}
+	totalCtx := cfg.Cores * cfg.ThreadsPerCore
+
+	l1SecCfg := func() (*core.Config, int) {
+		if cfg.Mode == SecTimeCache {
+			c := cfg.Sec
+			return &c, cfg.ThreadsPerCore
+		}
+		return nil, 0
+	}
+	llcSecCfg := func() (*core.Config, int) {
+		switch cfg.Mode {
+		case SecTimeCache:
+			c := cfg.Sec
+			return &c, totalCtx
+		case SecFTM:
+			// FTM tracks presence per core, not per context, and never
+			// saves/restores: the bits persist across context switches.
+			c := cfg.Sec
+			return &c, cfg.Cores
+		}
+		return nil, 0
+	}
+
+	h.activeDomain = make([]int, cfg.Cores)
+	var l1Part, llcPart func(int) (int, int)
+	if cfg.Partitioned {
+		// The partition is keyed by the security domain active on the
+		// accessing context's core, so per-process isolation holds even
+		// when processes time-share one hardware context.
+		domains := h.partitionDomains()
+		byDomain := func(ways int) func(int) (int, int) {
+			per := ways / domains
+			if per == 0 {
+				per = 1
+			}
+			return func(ctx int) (int, int) {
+				d := h.activeDomain[ctx/cfg.ThreadsPerCore]
+				return (d * per) % ways, per
+			}
+		}
+		l1Part = byDomain(cfg.L1Ways)
+		llcPart = byDomain(cfg.LLCWays)
+	}
+
+	for c := 0; c < cfg.Cores; c++ {
+		sec, n := l1SecCfg()
+		h.l1i = append(h.l1i, New(Config{
+			Name: fmt.Sprintf("l1i%d", c), Size: cfg.L1Size, Ways: cfg.L1Ways,
+			Latency: cfg.L1Lat, Policy: cfg.Policy, PolicySeed: cfg.PolicySeed + uint64(c),
+			Sec: sec, SecContexts: n, Partition: l1Part,
+		}))
+		sec, n = l1SecCfg()
+		h.l1d = append(h.l1d, New(Config{
+			Name: fmt.Sprintf("l1d%d", c), Size: cfg.L1Size, Ways: cfg.L1Ways,
+			Latency: cfg.L1Lat, Policy: cfg.Policy, PolicySeed: cfg.PolicySeed + 100 + uint64(c),
+			Sec: sec, SecContexts: n, Partition: l1Part,
+		}))
+	}
+	var idx func(uint64) uint64
+	if cfg.IndexRand != 0 {
+		key := cfg.IndexRand
+		idx = func(lineAddr uint64) uint64 {
+			x := (lineAddr >> LineShift) ^ key
+			x ^= x >> 33
+			x *= 0xFF51AFD7ED558CCD
+			x ^= x >> 33
+			return x
+		}
+	}
+	sec, n := llcSecCfg()
+	h.llc = New(Config{
+		Name: "llc", Size: cfg.LLCSize, Ways: cfg.LLCWays,
+		Latency: cfg.LLCLat, Policy: cfg.Policy, PolicySeed: cfg.PolicySeed + 1000,
+		Sec: sec, SecContexts: n, Partition: llcPart, Index: idx,
+	})
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L1I returns core c's instruction cache.
+func (h *Hierarchy) L1I(c int) *Cache { return h.l1i[c] }
+
+// L1D returns core c's data cache.
+func (h *Hierarchy) L1D(c int) *Cache { return h.l1d[c] }
+
+// LLC returns the shared last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// CoreOf maps a global hardware context to its core.
+func (h *Hierarchy) CoreOf(ctx int) int { return ctx / h.cfg.ThreadsPerCore }
+
+// threadOf maps a global hardware context to its intra-core thread index.
+func (h *Hierarchy) threadOf(ctx int) int { return ctx % h.cfg.ThreadsPerCore }
+
+// Contexts returns the total number of hardware contexts.
+func (h *Hierarchy) Contexts() int { return h.cfg.Cores * h.cfg.ThreadsPerCore }
+
+// llcCtx maps a global context to the LLC's local context index.
+func (h *Hierarchy) llcCtx(ctx int) int {
+	if h.cfg.Mode == SecFTM {
+		return h.CoreOf(ctx)
+	}
+	return ctx
+}
+
+// Access performs one memory access by global hardware context ctx at the
+// line containing addr, at simulation time now.
+func (h *Hierarchy) Access(now clock.Cycles, ctx int, addr uint64, kind Kind) Result {
+	lineAddr := addr &^ (LineSize - 1)
+	corei := h.CoreOf(ctx)
+	l1 := h.l1d[corei]
+	if kind == Fetch {
+		l1 = h.l1i[corei]
+	}
+	lctx := h.threadOf(ctx)
+
+	l1.Stats.Accesses++
+	if idx := l1.lookup(lineAddr, lctx); idx >= 0 {
+		if kind == Store && l1.lines[idx].st == shared {
+			h.invalidateOtherL1s(lineAddr, corei)
+			l1.lines[idx].st = modified
+		}
+		l1.touch(idx)
+		if l1.visible(idx, lctx) {
+			l1.Stats.Hits++
+			return Result{Latency: l1.cfg.Latency, Hit: true, Level: 1}
+		}
+		// First access at L1: send the request down, discard the response,
+		// then serve from the (unchanged) L1 copy.
+		l1.Stats.FirstAccess++
+		below := h.accessLLC(now, ctx, lineAddr, false)
+		l1.sec.OnFirstAccess(idx, lctx)
+		return Result{
+			Latency:     l1.cfg.Latency + below.Latency,
+			FirstAccess: true,
+			Level:       below.Level,
+		}
+	}
+	l1.Stats.Misses++
+
+	// Check the other cores' L1s for a dirty copy before going to the LLC.
+	snooped := h.snoopDirty(lineAddr, corei, kind)
+	below := h.accessLLC(now, ctx, lineAddr, true)
+	level := below.Level
+	var extra uint64
+	if snooped && below.Level == 2 {
+		// The forward is only observable when the LLC services the request;
+		// if the response waits for DRAM (a miss, or a TimeCache first
+		// access), the forward hides behind the longer DRAM latency —
+		// which is exactly how TimeCache defeats invalidate+transfer
+		// (paper §VII-B).
+		extra += h.cfg.RemoteL1Lat
+	}
+
+	st := shared
+	if kind == Store {
+		h.invalidateOtherL1s(lineAddr, corei)
+		st = modified
+	}
+	vic := l1.victim(lineAddr, lctx)
+	h.evictL1Line(l1, vic)
+	l1.fill(vic, lineAddr, st, lctx, now)
+
+	if h.cfg.NextLinePrefetch {
+		h.prefetch(now, ctx, lineAddr+LineSize, kind)
+	}
+
+	fa := below.FirstAccess
+	return Result{Latency: l1.cfg.Latency + extra + below.Latency, FirstAccess: fa, Level: level}
+}
+
+// prefetch installs lineAddr into the requesting context's L1 (and the LLC
+// via the normal fill path) without charging latency: a background fill
+// triggered by a demand miss on the previous line. It never displaces a
+// resident copy and never prefetches across a snoop conflict.
+func (h *Hierarchy) prefetch(now clock.Cycles, ctx int, lineAddr uint64, kind Kind) {
+	corei := h.CoreOf(ctx)
+	l1 := h.l1d[corei]
+	if kind == Fetch {
+		l1 = h.l1i[corei]
+	}
+	lctx := h.threadOf(ctx)
+	if l1.lookup(lineAddr, lctx) >= 0 {
+		return // already resident in the requester's L1 (partition)
+	}
+	// Bring the line into the LLC (a normal fill) and the L1, attributed
+	// to the requesting context.
+	llc := h.llc
+	llcCtx := h.llcCtx(ctx)
+	if idx := llc.lookup(lineAddr, llcCtx); idx < 0 {
+		vic := llc.victim(lineAddr, llcCtx)
+		if v := &llc.lines[vic]; v.st != invalid {
+			h.backInvalidate(v.tag)
+		}
+		llc.fill(vic, lineAddr, shared, llcCtx, now)
+	} else if llc.sec != nil && !llc.sec.Visible(idx, llcCtx) {
+		// A prefetch on the requester's behalf pays its first access here,
+		// invisibly to timing (the prefetcher waited for memory anyway).
+		llc.Stats.FirstAccess++
+		llc.sec.OnFirstAccess(idx, llcCtx)
+	}
+	vic := l1.victim(lineAddr, lctx)
+	h.evictL1Line(l1, vic)
+	l1.fill(vic, lineAddr, shared, lctx, now)
+}
+
+// accessLLC handles a request arriving at the LLC. fill controls whether a
+// miss allocates (false on the first-access descend path: the upper level
+// already holds the data, so the response is discarded and nothing fills).
+func (h *Hierarchy) accessLLC(now clock.Cycles, ctx int, lineAddr uint64, fill bool) Result {
+	llc := h.llc
+	lctx := h.llcCtx(ctx)
+	llc.Stats.Accesses++
+	if idx := llc.lookup(lineAddr, lctx); idx >= 0 {
+		llc.touch(idx)
+		if llc.visible(idx, lctx) {
+			llc.Stats.Hits++
+			return Result{Latency: llc.cfg.Latency, Hit: true, Level: 2}
+		}
+		// First access at the LLC: continue to memory, discard the data.
+		llc.Stats.FirstAccess++
+		llc.sec.OnFirstAccess(idx, lctx)
+		return Result{
+			Latency:     llc.cfg.Latency + h.cfg.DRAMLat,
+			FirstAccess: true,
+			Level:       3,
+		}
+	}
+	llc.Stats.Misses++
+	lat := llc.cfg.Latency + h.cfg.DRAMLat
+	if !fill {
+		// Descend path with no LLC copy (inclusion was broken by a flush
+		// racing the request): just report the memory latency.
+		return Result{Latency: lat, Level: 3}
+	}
+	vic := llc.victim(lineAddr, lctx)
+	if v := &llc.lines[vic]; v.st != invalid {
+		// Inclusive LLC: evicting a line removes it from every L1.
+		h.backInvalidate(v.tag)
+	}
+	llc.fill(vic, lineAddr, shared, lctx, now)
+	return Result{Latency: lat, Level: 3}
+}
+
+// snoopDirty checks other cores' L1 caches for a modified copy of lineAddr.
+// On a load the remote copy is downgraded to shared (with writeback); on a
+// store it is invalidated. Returns whether a dirty forward occurred.
+func (h *Hierarchy) snoopDirty(lineAddr uint64, exceptCore int, kind Kind) bool {
+	found := false
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == exceptCore {
+			continue
+		}
+		l1 := h.l1d[c]
+		if idx := l1.Probe(lineAddr); idx >= 0 && l1.lines[idx].st == modified {
+			found = true
+			l1.Stats.Writebacks++
+			h.markLLCDirty(lineAddr)
+			if kind == Store {
+				l1.invalidate(idx)
+			} else {
+				l1.lines[idx].st = shared
+			}
+		}
+	}
+	return found
+}
+
+// invalidateOtherL1s removes copies of lineAddr from every L1 except the
+// writing core's (the write-invalidate upgrade).
+func (h *Hierarchy) invalidateOtherL1s(lineAddr uint64, exceptCore int) {
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == exceptCore {
+			continue
+		}
+		for _, l1 := range []*Cache{h.l1d[c], h.l1i[c]} {
+			if idx := l1.Probe(lineAddr); idx >= 0 {
+				if l1.lines[idx].st == modified {
+					h.markLLCDirty(lineAddr)
+				}
+				l1.invalidate(idx)
+			}
+		}
+	}
+}
+
+// backInvalidate removes lineAddr from every L1 (inclusive LLC eviction).
+func (h *Hierarchy) backInvalidate(lineAddr uint64) {
+	for c := 0; c < h.cfg.Cores; c++ {
+		for _, l1 := range []*Cache{h.l1d[c], h.l1i[c]} {
+			if idx := l1.Probe(lineAddr); idx >= 0 {
+				l1.invalidate(idx)
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) markLLCDirty(lineAddr uint64) {
+	if idx := h.llc.Probe(lineAddr); idx >= 0 {
+		h.llc.lines[idx].dirty = true
+	}
+}
+
+// evictL1Line handles displacement of an L1 line prior to a fill. A modified
+// line is written back into the LLC (marking it dirty there).
+func (h *Hierarchy) evictL1Line(l1 *Cache, idx int) {
+	l := &l1.lines[idx]
+	if l.st == modified {
+		h.markLLCDirty(l.tag)
+	}
+}
+
+// Flush performs a clflush of addr by ctx: the line is invalidated at every
+// level. The returned latency leaks residency unless ConstantTimeFlush is
+// set (paper §VII-C).
+func (h *Hierarchy) Flush(now clock.Cycles, ctx int, addr uint64) uint64 {
+	lineAddr := addr &^ (LineSize - 1)
+	present, dirty := false, false
+	for c := 0; c < h.cfg.Cores; c++ {
+		for _, l1 := range []*Cache{h.l1d[c], h.l1i[c]} {
+			if idx := l1.Probe(lineAddr); idx >= 0 {
+				present = true
+				if l1.invalidate(idx) {
+					dirty = true
+				}
+			}
+		}
+	}
+	if idx := h.llc.Probe(lineAddr); idx >= 0 {
+		present = true
+		if h.llc.invalidate(idx) {
+			dirty = true
+		}
+	}
+	if h.cfg.ConstantTimeFlush {
+		return h.cfg.FlushBase + h.cfg.FlushPresentExtra + h.cfg.FlushDirtyExtra
+	}
+	lat := h.cfg.FlushBase
+	if present {
+		lat += h.cfg.FlushPresentExtra
+	}
+	if dirty {
+		lat += h.cfg.FlushDirtyExtra
+	}
+	return lat
+}
+
+// FlushAll invalidates every line in every cache (the flush-on-switch
+// baseline defense).
+func (h *Hierarchy) FlushAll() {
+	for c := 0; c < h.cfg.Cores; c++ {
+		h.l1i[c].FlushAll()
+		h.l1d[c].FlushAll()
+	}
+	h.llc.FlushAll()
+}
+
+// CacheCtx pairs a cache with the local context index a global hardware
+// context uses there; the kernel saves/restores s-bit columns through it.
+type CacheCtx struct {
+	Cache    *Cache
+	LocalCtx int
+}
+
+// SecCaches returns the caches (and local context indices) whose s-bit
+// columns belong to global context ctx and must be saved/restored at a
+// context switch. Empty unless the mode is SecTimeCache.
+func (h *Hierarchy) SecCaches(ctx int) []CacheCtx {
+	if h.cfg.Mode != SecTimeCache {
+		return nil
+	}
+	corei := h.CoreOf(ctx)
+	return []CacheCtx{
+		{h.l1i[corei], h.threadOf(ctx)},
+		{h.l1d[corei], h.threadOf(ctx)},
+		{h.llc, ctx},
+	}
+}
+
+// Caches returns every cache in the hierarchy, for stats reporting.
+func (h *Hierarchy) Caches() []*Cache {
+	out := make([]*Cache, 0, 2*h.cfg.Cores+1)
+	for c := 0; c < h.cfg.Cores; c++ {
+		out = append(out, h.l1i[c], h.l1d[c])
+	}
+	return append(out, h.llc)
+}

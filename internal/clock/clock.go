@@ -1,0 +1,75 @@
+// Package clock provides the simulation cycle clock and the truncated
+// hardware timestamps used by TimeCache.
+//
+// The simulator keeps full 64-bit cycle counts in software (the kernel's Ts
+// bookkeeping), while the modeled hardware stores only a truncated Tc per
+// cache line (32 bits in the paper). Rollover of the truncated counter is
+// detected in software by comparing epochs of the full counts, exactly as
+// described in the paper (§VI-C).
+package clock
+
+import "fmt"
+
+// Cycles is a full-width simulation time in CPU cycles.
+type Cycles = uint64
+
+// DefaultTimestampBits is the Tc width used in the paper's evaluation.
+const DefaultTimestampBits = 32
+
+// Timestamp is a hardware timestamp truncated to a configured bit width.
+type Timestamp uint64
+
+// Trunc returns the hardware timestamp for a full cycle count at the given
+// width. Width must be in [1, 64].
+func Trunc(now Cycles, bits uint) Timestamp {
+	if bits == 0 || bits > 64 {
+		panic(fmt.Sprintf("clock: invalid timestamp width %d", bits))
+	}
+	if bits == 64 {
+		return Timestamp(now)
+	}
+	return Timestamp(now & ((1 << bits) - 1))
+}
+
+// Epoch returns the rollover epoch of a full cycle count, i.e. how many times
+// a bits-wide counter would have wrapped by time now.
+func Epoch(now Cycles, bits uint) uint64 {
+	if bits == 0 || bits > 64 {
+		panic(fmt.Sprintf("clock: invalid timestamp width %d", bits))
+	}
+	if bits == 64 {
+		return 0
+	}
+	return now >> bits
+}
+
+// RolledOver reports whether a bits-wide hardware counter wrapped between the
+// two full cycle counts. This is the software-side rollover check performed
+// when a process resumes: if true, all restored s-bits must be reset because
+// Tc comparisons against Ts are no longer meaningful.
+func RolledOver(ts, now Cycles, bits uint) bool {
+	return Epoch(ts, bits) != Epoch(now, bits)
+}
+
+// Clock is a monotonic simulation clock. The zero value starts at cycle 0.
+type Clock struct {
+	now Cycles
+}
+
+// Now returns the current cycle count.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves the clock forward by d cycles and returns the new time.
+func (c *Clock) Advance(d Cycles) Cycles {
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t. Moving backwards panics: the
+// simulator's interleaving must keep every clock monotonic.
+func (c *Clock) AdvanceTo(t Cycles) {
+	if t < c.now {
+		panic(fmt.Sprintf("clock: time moved backwards: %d -> %d", c.now, t))
+	}
+	c.now = t
+}

@@ -1,0 +1,119 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrunc(t *testing.T) {
+	cases := []struct {
+		now  Cycles
+		bits uint
+		want Timestamp
+	}{
+		{0, 32, 0},
+		{1, 32, 1},
+		{1 << 32, 32, 0},
+		{(1 << 32) + 5, 32, 5},
+		{0xff, 8, 0xff},
+		{0x100, 8, 0},
+		{0x1ff, 8, 0xff},
+		{42, 64, 42},
+		{^uint64(0), 64, Timestamp(^uint64(0))},
+	}
+	for _, c := range cases {
+		if got := Trunc(c.now, c.bits); got != c.want {
+			t.Errorf("Trunc(%d, %d) = %d, want %d", c.now, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestTruncPanicsOnBadWidth(t *testing.T) {
+	for _, bits := range []uint{0, 65, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Trunc with width %d did not panic", bits)
+				}
+			}()
+			Trunc(1, bits)
+		}()
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	if Epoch(0, 8) != 0 || Epoch(255, 8) != 0 {
+		t.Error("epoch of first window must be 0")
+	}
+	if Epoch(256, 8) != 1 {
+		t.Error("epoch after one wrap must be 1")
+	}
+	if Epoch(1<<33, 32) != 2 {
+		t.Error("epoch of 2^33 at 32 bits must be 2")
+	}
+	if Epoch(^uint64(0), 64) != 0 {
+		t.Error("64-bit counter never wraps")
+	}
+}
+
+func TestRolledOver(t *testing.T) {
+	// The paper's 2-decimal-digit illustration: preempt at 98, resume at 105
+	// with a counter that wraps every 100 "cycles". Our counters are binary;
+	// the analogous case with 8 bits: preempt at 250, resume at 260.
+	if !RolledOver(250, 260, 8) {
+		t.Error("wrap between 250 and 260 at 8 bits must be detected")
+	}
+	if RolledOver(100, 105, 8) {
+		t.Error("no wrap between 100 and 105 at 8 bits")
+	}
+	if RolledOver(0, 1<<32-1, 32) {
+		t.Error("no wrap inside the first 32-bit window")
+	}
+	if !RolledOver(1<<32-1, 1<<32, 32) {
+		t.Error("wrap at the 32-bit boundary must be detected")
+	}
+}
+
+// Property: within a single epoch, truncated ordering matches full ordering.
+func TestTruncOrderWithinEpoch(t *testing.T) {
+	f := func(a, b uint32) bool {
+		fa, fb := Cycles(a), Cycles(b)
+		ta, tb := Trunc(fa, 32), Trunc(fb, 32)
+		return (fa < fb) == (ta < tb) && (fa == fb) == (ta == tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RolledOver is false iff both times share an epoch.
+func TestRolledOverMatchesEpoch(t *testing.T) {
+	f := func(a, b uint64, bitsRaw uint8) bool {
+		bits := uint(bitsRaw%64) + 1
+		return RolledOver(a, b, bits) == (Epoch(a, bits) != Epoch(b, bits))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock must start at 0")
+	}
+	if c.Advance(10) != 10 || c.Now() != 10 {
+		t.Fatal("advance by 10")
+	}
+	c.AdvanceTo(15)
+	if c.Now() != 15 {
+		t.Fatal("advance to 15")
+	}
+	c.AdvanceTo(15) // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("moving a clock backwards must panic")
+		}
+	}()
+	c.AdvanceTo(5)
+}

@@ -1,0 +1,224 @@
+// Package core implements the paper's primary contribution: per-process
+// cache line visibility via per-hardware-context security bits (s-bits), a
+// per-line fill timestamp Tc, and the context-switch update that reconciles
+// a process's restored s-bits against the current cache contents by
+// comparing Tc with the process's preemption timestamp Ts.
+//
+// The package is cache-geometry agnostic: a SecArray covers the lines of one
+// cache, with one s-bit column per hardware context sharing that cache. The
+// cache model (internal/cache) consults it on every access; the kernel
+// (internal/kernel) saves/restores columns at context switches.
+package core
+
+import (
+	"fmt"
+
+	"timecache/internal/bitserial"
+	"timecache/internal/clock"
+)
+
+// Config controls the TimeCache security state for one cache.
+type Config struct {
+	// TimestampBits is the Tc width (32 in the paper's evaluation).
+	TimestampBits uint
+	// GateLevel routes context-switch timestamp comparisons through the
+	// gate-level bit-serial model instead of the fast reference path.
+	GateLevel bool
+	// MaxSharers, when positive, replaces the full s-bit map with the
+	// limited-pointer tracker (§VI-C area optimization): at most this many
+	// contexts are tracked per line, with conservative eviction on
+	// overflow. Zero keeps the paper's full per-context s-bits.
+	MaxSharers int
+}
+
+// DefaultConfig matches the paper's evaluation parameters.
+func DefaultConfig() Config {
+	return Config{TimestampBits: clock.DefaultTimestampBits}
+}
+
+// SecVec is a saved s-bit column: one bit per cache line, packed 64 per
+// word. A nil SecVec means "no bits set" (a process that never ran on this
+// cache), which is what a newly created process restores.
+type SecVec []uint64
+
+// VecWords returns the number of words a SecVec needs for `lines` lines.
+func VecWords(lines int) int { return (lines + 63) / 64 }
+
+// Bit reports whether line's bit is set in the vector.
+func (v SecVec) Bit(line int) bool {
+	if v == nil {
+		return false
+	}
+	return v[line/64]>>(uint(line%64))&1 == 1
+}
+
+// SecArray holds the TimeCache hardware state for one cache: the per-line,
+// per-context s-bits and the per-line fill timestamps.
+type SecArray struct {
+	cfg      Config
+	lines    int
+	contexts int
+
+	// sbits[line] is a bitmask over hardware contexts: bit c set means
+	// context c has seen the current resident copy of the line.
+	sbits []uint64
+	// tc[line] is the truncated fill timestamp of the line.
+	tc []uint64
+	// arr mirrors tc in the transposed gate-level SRAM when GateLevel is on.
+	arr *bitserial.Array
+
+	// Stats observable by the harness.
+	Compares     uint64 // context-switch comparison operations run
+	ResetsByComp uint64 // restored s-bits cleared because Tc > Ts
+	Rollovers    uint64 // restores that hit the rollover path
+}
+
+// NewSecArray creates security state for a cache with the given number of
+// lines, shared by the given number of hardware contexts (max 64).
+func NewSecArray(cfg Config, lines, contexts int) *SecArray {
+	if lines <= 0 {
+		panic("core: line count must be positive")
+	}
+	if contexts <= 0 || contexts > 64 {
+		panic(fmt.Sprintf("core: context count %d out of range [1,64]", contexts))
+	}
+	if cfg.TimestampBits == 0 {
+		cfg.TimestampBits = clock.DefaultTimestampBits
+	}
+	s := &SecArray{
+		cfg:      cfg,
+		lines:    lines,
+		contexts: contexts,
+		sbits:    make([]uint64, lines),
+		tc:       make([]uint64, lines),
+	}
+	if cfg.GateLevel {
+		s.arr = bitserial.NewArray(lines, cfg.TimestampBits)
+	}
+	return s
+}
+
+// Lines returns the number of cache lines covered.
+func (s *SecArray) Lines() int { return s.lines }
+
+// Contexts returns the number of hardware contexts sharing the cache.
+func (s *SecArray) Contexts() int { return s.contexts }
+
+// Visible reports whether the line's current resident copy has already been
+// seen by the context, i.e. whether a tag hit may be treated as a real hit.
+func (s *SecArray) Visible(line, ctx int) bool {
+	s.check(line, ctx)
+	return s.sbits[line]>>uint(ctx)&1 == 1
+}
+
+// OnFill records a cache line fill by ctx at time now: the filling context's
+// s-bit is set, all other contexts' s-bits are reset, and Tc is stamped.
+func (s *SecArray) OnFill(line, ctx int, now clock.Cycles) {
+	s.check(line, ctx)
+	s.sbits[line] = 1 << uint(ctx)
+	t := uint64(clock.Trunc(now, s.cfg.TimestampBits))
+	s.tc[line] = t
+	if s.arr != nil {
+		s.arr.Store(line, t)
+	}
+}
+
+// OnFirstAccess records that ctx has now paid the first-access delay for a
+// resident line; subsequent accesses by ctx proceed as hits.
+func (s *SecArray) OnFirstAccess(line, ctx int) {
+	s.check(line, ctx)
+	s.sbits[line] |= 1 << uint(ctx)
+}
+
+// OnEvict clears all s-bits for a line being evicted or invalidated.
+func (s *SecArray) OnEvict(line int) {
+	s.check(line, 0)
+	s.sbits[line] = 0
+}
+
+// Tc returns the truncated fill timestamp of a line (for tests and stats).
+func (s *SecArray) Tc(line int) uint64 {
+	s.check(line, 0)
+	return s.tc[line]
+}
+
+// SaveColumn extracts the s-bit column for ctx — the process-specific
+// caching context software writes to memory at preemption.
+func (s *SecArray) SaveColumn(ctx int) SecVec {
+	s.check(0, ctx)
+	v := make(SecVec, VecWords(s.lines))
+	bit := uint64(1) << uint(ctx)
+	for line := 0; line < s.lines; line++ {
+		if s.sbits[line]&bit != 0 {
+			v[line/64] |= 1 << uint(line%64)
+		}
+	}
+	return v
+}
+
+// ClearColumn resets every s-bit of a context (used when a brand-new
+// process is scheduled, and on the rollover path).
+func (s *SecArray) ClearColumn(ctx int) {
+	s.check(0, ctx)
+	mask := ^(uint64(1) << uint(ctx))
+	for line := range s.sbits {
+		s.sbits[line] &= mask
+	}
+}
+
+// RestoreColumn installs a saved s-bit column for ctx and brings it
+// up-to-date with the current cache contents, as the hardware does when a
+// process resumes:
+//
+//   - If the truncated timestamp counter rolled over between ts (the
+//     process's preemption time) and now, every restored s-bit is reset
+//     (paper §VI-C): lines refilled after the wrap can carry smaller Tc.
+//   - Otherwise every restored s-bit whose line has Tc > Ts is reset — the
+//     line was (re)filled while the process was preempted, so the process
+//     has not seen this copy.
+//
+// ts and now are full 64-bit cycle counts kept by software; the hardware
+// comparison uses the truncated values.
+func (s *SecArray) RestoreColumn(ctx int, v SecVec, ts, now clock.Cycles) {
+	s.check(0, ctx)
+	if v != nil && len(v) != VecWords(s.lines) {
+		panic(fmt.Sprintf("core: SecVec has %d words, want %d", len(v), VecWords(s.lines)))
+	}
+	s.ClearColumn(ctx)
+	if v == nil {
+		return
+	}
+	if clock.RolledOver(ts, now, s.cfg.TimestampBits) {
+		s.Rollovers++
+		return
+	}
+	s.Compares++
+	tsTrunc := uint64(clock.Trunc(ts, s.cfg.TimestampBits))
+	var gt []uint64
+	if s.arr != nil {
+		gt = s.arr.CompareGT(tsTrunc)
+	} else {
+		gt = bitserial.ReferenceGT(s.tc, tsTrunc, s.cfg.TimestampBits)
+	}
+	bit := uint64(1) << uint(ctx)
+	for line := 0; line < s.lines; line++ {
+		w, b := line/64, uint(line%64)
+		if v[w]>>b&1 == 0 {
+			continue
+		}
+		if gt[w]>>b&1 == 1 {
+			s.ResetsByComp++
+			continue // line is newer than Ts: stay invisible
+		}
+		s.sbits[line] |= bit
+	}
+}
+
+func (s *SecArray) check(line, ctx int) {
+	if line < 0 || line >= s.lines {
+		panic(fmt.Sprintf("core: line %d out of range [0,%d)", line, s.lines))
+	}
+	if ctx < 0 || ctx >= s.contexts {
+		panic(fmt.Sprintf("core: context %d out of range [0,%d)", ctx, s.contexts))
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+func TestSbitTransfersMatchPaper(t *testing.T) {
+	// Paper §VI-D: a 64 KB L1 (1024 lines at 64 B) needs 2 transfers of
+	// 64 bytes; an 8 MB LLC (131072 lines) needs 256.
+	if got := SbitTransfers(1024); got != 2 {
+		t.Errorf("64KB cache: %d transfers, want 2", got)
+	}
+	if got := SbitTransfers(131072); got != 256 {
+		t.Errorf("8MB cache: %d transfers, want 256", got)
+	}
+	// The paper's simulated caches: 32 KB L1 = 512 lines = 64 B = 1 transfer;
+	// 2 MB LLC = 32768 lines = 4 KB = 64 transfers.
+	if got := SbitTransfers(512); got != 1 {
+		t.Errorf("32KB cache: %d transfers, want 1", got)
+	}
+	if got := SbitTransfers(32768); got != 64 {
+		t.Errorf("2MB cache: %d transfers, want 64", got)
+	}
+}
+
+func TestSbitBytesRoundsUp(t *testing.T) {
+	if got := SbitBytes(1); got != 64 {
+		t.Errorf("1 line: %d bytes, want 64 (one transfer minimum)", got)
+	}
+	if got := SbitBytes(513); got != 128 {
+		t.Errorf("513 lines: %d bytes, want 128", got)
+	}
+}
+
+func TestDMACostFixed(t *testing.T) {
+	m := DefaultCostModel()
+	// 1.08 µs at 2 GHz = 2160 cycles, independent of cache sizes.
+	if c := m.SwitchCost([]int{512, 512, 32768}); c != 2160 {
+		t.Errorf("DMA switch cost = %d, want 2160", c)
+	}
+	if c := m.SwitchCost(nil); c != 2160 {
+		t.Errorf("DMA switch cost = %d, want 2160", c)
+	}
+}
+
+func TestCopyCostScalesWithCaches(t *testing.T) {
+	m := CostModel{TransferCycles: 100}
+	// save+restore for each cache: 2*(1+1+64) transfers * 100 cycles.
+	want := uint64(2*(1+1+64)) * 100
+	if c := m.SwitchCost([]int{512, 512, 32768}); c != want {
+		t.Errorf("copy switch cost = %d, want %d", c, want)
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"timecache/internal/clock"
+)
+
+// Tracker is the per-cache TimeCache security state abstraction. Two
+// implementations exist:
+//
+//   - SecArray: the paper's design, one s-bit per hardware context per line
+//     (n bits/line for n contexts).
+//   - LimitedTracker: the §VI-C scaling proposal — limited pointers as in
+//     coherence directories [Agarwal et al., ISCA'88], tracking at most k
+//     sharers per line in k·log2(n) bits. Overflow is resolved
+//     conservatively: an existing sharer is evicted and will pay an extra
+//     first-access miss. Security never weakens; only performance can.
+type Tracker interface {
+	// Lines returns the number of cache lines covered.
+	Lines() int
+	// Contexts returns the number of hardware contexts sharing the cache.
+	Contexts() int
+	// Visible reports whether ctx has seen the line's resident copy.
+	Visible(line, ctx int) bool
+	// OnFill records a fill by ctx at time now, resetting other contexts.
+	OnFill(line, ctx int, now clock.Cycles)
+	// OnFirstAccess records that ctx has paid the first-access delay.
+	OnFirstAccess(line, ctx int)
+	// OnEvict clears all visibility for an evicted/invalidated line.
+	OnEvict(line int)
+	// SaveColumn extracts ctx's visibility as a bit vector (software save).
+	SaveColumn(ctx int) SecVec
+	// ClearColumn removes all of ctx's visibility.
+	ClearColumn(ctx int)
+	// RestoreColumn installs a saved column, reconciling against Tc/Ts.
+	RestoreColumn(ctx int, v SecVec, ts, now clock.Cycles)
+}
+
+// Compile-time checks.
+var (
+	_ Tracker = (*SecArray)(nil)
+	_ Tracker = (*LimitedTracker)(nil)
+)
+
+// NewTracker constructs the tracker selected by cfg: a full-map SecArray
+// when MaxSharers is zero, otherwise a LimitedTracker with that many
+// pointer slots per line.
+func NewTracker(cfg Config, lines, contexts int) Tracker {
+	if cfg.MaxSharers > 0 {
+		return NewLimitedTracker(cfg, lines, contexts)
+	}
+	return NewSecArray(cfg, lines, contexts)
+}
+
+// LimitedTracker tracks at most MaxSharers contexts per line using pointer
+// slots, the directory-style area optimization the paper sketches for
+// server-class LLCs (§VI-C): k·log2(n) bits per line instead of n.
+type LimitedTracker struct {
+	cfg      Config
+	lines    int
+	contexts int
+	k        int
+
+	// slots[line*k .. line*k+k-1] hold context ids; slotValid the
+	// corresponding valid bits.
+	slots     []uint8
+	slotValid []bool
+	tc        []uint64
+
+	// clockHand drives round-robin victim selection on overflow.
+	clockHand int
+
+	// OverflowEvictions counts sharers dropped because a line's pointer
+	// slots were full — each costs the dropped context one extra
+	// first-access miss later (performance, never security).
+	OverflowEvictions uint64
+	// Rollovers counts restores that hit the rollover path.
+	Rollovers uint64
+}
+
+// NewLimitedTracker creates a limited-pointer tracker with cfg.MaxSharers
+// slots per line.
+func NewLimitedTracker(cfg Config, lines, contexts int) *LimitedTracker {
+	if lines <= 0 {
+		panic("core: line count must be positive")
+	}
+	if contexts <= 0 || contexts > 256 {
+		panic(fmt.Sprintf("core: context count %d out of range [1,256]", contexts))
+	}
+	k := cfg.MaxSharers
+	if k <= 0 || k > contexts {
+		panic(fmt.Sprintf("core: MaxSharers %d out of range [1,%d]", k, contexts))
+	}
+	if cfg.TimestampBits == 0 {
+		cfg.TimestampBits = clock.DefaultTimestampBits
+	}
+	return &LimitedTracker{
+		cfg:       cfg,
+		lines:     lines,
+		contexts:  contexts,
+		k:         k,
+		slots:     make([]uint8, lines*k),
+		slotValid: make([]bool, lines*k),
+		tc:        make([]uint64, lines),
+	}
+}
+
+// Lines implements Tracker.
+func (t *LimitedTracker) Lines() int { return t.lines }
+
+// Contexts implements Tracker.
+func (t *LimitedTracker) Contexts() int { return t.contexts }
+
+func (t *LimitedTracker) check(line, ctx int) {
+	if line < 0 || line >= t.lines {
+		panic(fmt.Sprintf("core: line %d out of range [0,%d)", line, t.lines))
+	}
+	if ctx < 0 || ctx >= t.contexts {
+		panic(fmt.Sprintf("core: context %d out of range [0,%d)", ctx, t.contexts))
+	}
+}
+
+// Visible implements Tracker.
+func (t *LimitedTracker) Visible(line, ctx int) bool {
+	t.check(line, ctx)
+	base := line * t.k
+	for s := 0; s < t.k; s++ {
+		if t.slotValid[base+s] && int(t.slots[base+s]) == ctx {
+			return true
+		}
+	}
+	return false
+}
+
+// OnFill implements Tracker.
+func (t *LimitedTracker) OnFill(line, ctx int, now clock.Cycles) {
+	t.check(line, ctx)
+	base := line * t.k
+	for s := 0; s < t.k; s++ {
+		t.slotValid[base+s] = false
+	}
+	t.slots[base] = uint8(ctx)
+	t.slotValid[base] = true
+	t.tc[line] = uint64(clock.Trunc(now, t.cfg.TimestampBits))
+}
+
+// add inserts ctx into a line's slots, evicting round-robin on overflow.
+func (t *LimitedTracker) add(line, ctx int) {
+	base := line * t.k
+	for s := 0; s < t.k; s++ {
+		if t.slotValid[base+s] && int(t.slots[base+s]) == ctx {
+			return
+		}
+	}
+	for s := 0; s < t.k; s++ {
+		if !t.slotValid[base+s] {
+			t.slots[base+s] = uint8(ctx)
+			t.slotValid[base+s] = true
+			return
+		}
+	}
+	// Overflow: evict an existing sharer. Dropping visibility is always
+	// safe — the evicted context just pays another first access.
+	victim := base + t.clockHand%t.k
+	t.clockHand++
+	t.slots[victim] = uint8(ctx)
+	t.OverflowEvictions++
+}
+
+// OnFirstAccess implements Tracker.
+func (t *LimitedTracker) OnFirstAccess(line, ctx int) {
+	t.check(line, ctx)
+	t.add(line, ctx)
+}
+
+// OnEvict implements Tracker.
+func (t *LimitedTracker) OnEvict(line int) {
+	t.check(line, 0)
+	base := line * t.k
+	for s := 0; s < t.k; s++ {
+		t.slotValid[base+s] = false
+	}
+}
+
+// SaveColumn implements Tracker.
+func (t *LimitedTracker) SaveColumn(ctx int) SecVec {
+	t.check(0, ctx)
+	v := make(SecVec, VecWords(t.lines))
+	for line := 0; line < t.lines; line++ {
+		if t.Visible(line, ctx) {
+			v[line/64] |= 1 << uint(line%64)
+		}
+	}
+	return v
+}
+
+// ClearColumn implements Tracker.
+func (t *LimitedTracker) ClearColumn(ctx int) {
+	t.check(0, ctx)
+	for line := 0; line < t.lines; line++ {
+		base := line * t.k
+		for s := 0; s < t.k; s++ {
+			if t.slotValid[base+s] && int(t.slots[base+s]) == ctx {
+				t.slotValid[base+s] = false
+			}
+		}
+	}
+}
+
+// RestoreColumn implements Tracker: the Tc/Ts reconciliation is identical
+// to the full-map design; only the storage differs.
+func (t *LimitedTracker) RestoreColumn(ctx int, v SecVec, ts, now clock.Cycles) {
+	t.check(0, ctx)
+	if v != nil && len(v) != VecWords(t.lines) {
+		panic(fmt.Sprintf("core: SecVec has %d words, want %d", len(v), VecWords(t.lines)))
+	}
+	t.ClearColumn(ctx)
+	if v == nil {
+		return
+	}
+	if clock.RolledOver(ts, now, t.cfg.TimestampBits) {
+		t.Rollovers++
+		return
+	}
+	tsTrunc := uint64(clock.Trunc(ts, t.cfg.TimestampBits))
+	mask := ^uint64(0)
+	if t.cfg.TimestampBits < 64 {
+		mask = (1 << t.cfg.TimestampBits) - 1
+	}
+	for line := 0; line < t.lines; line++ {
+		if !v.Bit(line) {
+			continue
+		}
+		if t.tc[line]&mask > tsTrunc {
+			continue // refilled while preempted: stay invisible
+		}
+		t.add(line, ctx)
+	}
+}
+
+// BitsPerLine returns the metadata bits per cache line for each tracker
+// design at n contexts: the full map needs n; limited pointers need
+// k*(log2(n)+1) (pointer plus valid bit). Used by the area discussion in
+// EXPERIMENTS.md and the ablation bench.
+func BitsPerLine(contexts, maxSharers int) (fullMap, limited int) {
+	logN := 0
+	for 1<<logN < contexts {
+		logN++
+	}
+	if maxSharers <= 0 {
+		return contexts, contexts
+	}
+	return contexts, maxSharers * (logN + 1)
+}

@@ -1,0 +1,476 @@
+// Package harness runs the paper's experiments end to end: it builds paired
+// (baseline, TimeCache) machines, executes the calibrated workloads, and
+// reduces the counters to the quantities each table and figure reports.
+package harness
+
+import (
+	"fmt"
+
+	"timecache/internal/cache"
+	"timecache/internal/core"
+	"timecache/internal/kernel"
+	"timecache/internal/mem"
+	"timecache/internal/stats"
+	"timecache/internal/workload"
+)
+
+// Options controls experiment scale and fidelity.
+type Options struct {
+	// InstrsPerProc is the per-process measured instruction budget (the
+	// paper runs 1B instructions in gem5; the default here is sized for
+	// seconds-scale runs — raise it for tighter statistics).
+	InstrsPerProc uint64
+	// WarmupInstrs run before measurement starts so cold-start misses do
+	// not pollute steady-state MPKI and timing (the paper's 1B-instruction
+	// runs amortize them; short runs must exclude them explicitly).
+	WarmupInstrs uint64
+	// LLCSize overrides the last-level cache size (Fig. 10 sweeps it).
+	LLCSize int
+	// GateLevel routes context-switch comparisons through the gate-level
+	// bit-serial model.
+	GateLevel bool
+	// SliceCycles overrides the scheduler time slice.
+	SliceCycles uint64
+}
+
+// Defaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.InstrsPerProc == 0 {
+		o.InstrsPerProc = 300_000
+	}
+	if o.WarmupInstrs == 0 {
+		o.WarmupInstrs = 250_000
+	}
+	if o.LLCSize == 0 {
+		o.LLCSize = 2 << 20
+	}
+	return o
+}
+
+// measurement is a counter snapshot delta between the warm point (when the
+// last process crosses its warmup budget) and the end of the run.
+type measurement struct {
+	cycles      uint64
+	instrs      uint64
+	llcMisses   uint64
+	faL1I       uint64
+	faL1D       uint64
+	faLLC       uint64
+	bookkeeping uint64
+	switches    uint64
+}
+
+// snapCounters captures the counters measurement subtracts.
+func snapCounters(k *kernel.Kernel) measurement {
+	h := k.Hierarchy()
+	var m measurement
+	m.cycles = maxClock(k)
+	m.instrs = totalInstructions(k)
+	m.llcMisses = h.LLC().Stats.Misses + h.LLC().Stats.FirstAccess
+	for c := 0; c < h.Config().Cores; c++ {
+		m.faL1I += h.L1I(c).Stats.FirstAccess
+		m.faL1D += h.L1D(c).Stats.FirstAccess
+	}
+	m.faLLC = h.LLC().Stats.FirstAccess
+	m.bookkeeping = k.Stats.BookkeepingCycles
+	m.switches = k.Stats.ContextSwitches
+	return m
+}
+
+func (m measurement) sub(start measurement) measurement {
+	return measurement{
+		cycles:      m.cycles - start.cycles,
+		instrs:      m.instrs - start.instrs,
+		llcMisses:   m.llcMisses - start.llcMisses,
+		faL1I:       m.faL1I - start.faL1I,
+		faL1D:       m.faL1D - start.faL1D,
+		faLLC:       m.faLLC - start.faLLC,
+		bookkeeping: m.bookkeeping - start.bookkeeping,
+		switches:    m.switches - start.switches,
+	}
+}
+
+// LevelMPKI holds per-cache-level first-access (delayed access) MPKI, the
+// quantity of Figures 8 and 9b.
+type LevelMPKI struct {
+	L1I, L1D, LLC float64
+}
+
+// PairResult is one workload row across both configurations.
+type PairResult struct {
+	Label string
+
+	BaselineCycles  uint64
+	TimeCacheCycles uint64
+	// Normalized is TimeCacheCycles/BaselineCycles (Fig. 7 / 9a / 10).
+	Normalized float64
+
+	// MPKIBase and MPKITC are LLC misses (including first-access misses)
+	// per kilo-instruction, Table II's last two columns.
+	MPKIBase, MPKITC float64
+
+	// FirstAccess is the delayed-access MPKI per level under TimeCache
+	// (Fig. 8 / 9b).
+	FirstAccess LevelMPKI
+
+	// BookkeepingPct is the share of total TimeCache cycles spent on s-bit
+	// save/restore (the paper reports ~0.02%).
+	BookkeepingPct float64
+	// ContextSwitches under the TimeCache run.
+	ContextSwitches uint64
+}
+
+// buildMachine constructs a machine for an experiment.
+func buildMachine(mode cache.SecMode, cores int, opts Options, frames int) *kernel.Kernel {
+	hcfg := cache.DefaultHierarchyConfig()
+	hcfg.Cores = cores
+	hcfg.Mode = mode
+	hcfg.LLCSize = opts.LLCSize
+	hcfg.Sec.GateLevel = opts.GateLevel
+	kcfg := kernel.DefaultConfig()
+	if opts.SliceCycles != 0 {
+		kcfg.SliceCycles = opts.SliceCycles
+	}
+	hier := cache.NewHierarchy(hcfg)
+	phys := mem.NewPhysical(frames, hcfg.DRAMLat)
+	return kernel.New(kcfg, hier, phys)
+}
+
+// runSpecPairOnce runs one Fig. 7 workload (two processes, one core) under
+// the given mode and returns the steady-state measurement.
+func runSpecPairOnce(pair workload.Pair, mode cache.SecMode, opts Options) (measurement, error) {
+	pa, err := workload.Spec(pair.A)
+	if err != nil {
+		return measurement{}, err
+	}
+	pb, err := workload.Spec(pair.B)
+	if err != nil {
+		return measurement{}, err
+	}
+	frames := workload.FramesNeeded(pa) + workload.FramesNeeded(pb) + 1024
+	k := buildMachine(mode, 1, opts, frames)
+	total := opts.WarmupInstrs + opts.InstrsPerProc
+	_, procA, err := workload.Spawn(k, pa, workload.SpawnOptions{Instrs: total, Seed: 1001})
+	if err != nil {
+		return measurement{}, err
+	}
+	_, procB, err := workload.Spawn(k, pb, workload.SpawnOptions{Instrs: total, Seed: 2002})
+	if err != nil {
+		return measurement{}, err
+	}
+	var warm measurement
+	warmed := 0
+	onWarm := func() {
+		warmed++
+		if warmed == 2 {
+			warm = snapCounters(k)
+		}
+	}
+	procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
+	procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
+	k.Run(1 << 62)
+	if !k.AllExited() {
+		return measurement{}, fmt.Errorf("harness: %s did not finish", pair.Label)
+	}
+	if warmed != 2 {
+		return measurement{}, fmt.Errorf("harness: %s never reached steady state", pair.Label)
+	}
+	return snapCounters(k).sub(warm), nil
+}
+
+func totalInstructions(k *kernel.Kernel) uint64 {
+	var n uint64
+	for _, p := range k.Processes() {
+		n += p.Stats.Instructions
+	}
+	return n
+}
+
+func maxClock(k *kernel.Kernel) uint64 {
+	var m uint64
+	for c := 0; c < k.Hierarchy().Config().Cores; c++ {
+		if t := k.CoreClock(c); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// result reduces two steady-state measurements to a PairResult.
+func result(label string, mb, mt measurement) PairResult {
+	res := PairResult{
+		Label:           label,
+		BaselineCycles:  mb.cycles,
+		TimeCacheCycles: mt.cycles,
+		MPKIBase:        stats.MPKI(mb.llcMisses, mb.instrs),
+		MPKITC:          stats.MPKI(mt.llcMisses, mt.instrs),
+		FirstAccess: LevelMPKI{
+			L1I: stats.MPKI(mt.faL1I, mt.instrs),
+			L1D: stats.MPKI(mt.faL1D, mt.instrs),
+			LLC: stats.MPKI(mt.faLLC, mt.instrs),
+		},
+		ContextSwitches: mt.switches,
+	}
+	res.Normalized = stats.Normalized(res.TimeCacheCycles, res.BaselineCycles)
+	if res.TimeCacheCycles > 0 {
+		res.BookkeepingPct = float64(mt.bookkeeping) / float64(res.TimeCacheCycles) * 100
+	}
+	return res
+}
+
+// RunSpecPair measures one Fig. 7 / Table II row: the same pair under the
+// baseline and under TimeCache.
+func RunSpecPair(pair workload.Pair, opts Options) (PairResult, error) {
+	opts = opts.withDefaults()
+	mb, err := runSpecPairOnce(pair, cache.SecOff, opts)
+	if err != nil {
+		return PairResult{}, err
+	}
+	mt, err := runSpecPairOnce(pair, cache.SecTimeCache, opts)
+	if err != nil {
+		return PairResult{}, err
+	}
+	return result(pair.Label, mb, mt), nil
+}
+
+// RunAllSpecPairs reproduces Figures 7 and 8 and the SPEC half of Table II.
+func RunAllSpecPairs(opts Options) ([]PairResult, error) {
+	var out []PairResult
+	for _, pair := range workload.SpecPairs() {
+		r, err := RunSpecPair(pair, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// runParsecOnce runs one 2-thread/2-core PARSEC workload.
+func runParsecOnce(name string, mode cache.SecMode, opts Options) (measurement, error) {
+	prof, err := workload.Parsec(name)
+	if err != nil {
+		return measurement{}, err
+	}
+	frames := workload.FramesNeeded(prof) + 1024
+	k := buildMachine(mode, 2, opts, frames)
+	as, err := workload.BuildSharedAS(k, prof)
+	if err != nil {
+		return measurement{}, err
+	}
+	var warm measurement
+	warmed := 0
+	onWarm := func() {
+		warmed++
+		if warmed == 2 {
+			warm = snapCounters(k)
+		}
+	}
+	total := opts.WarmupInstrs + opts.InstrsPerProc
+	for t := 0; t < 2; t++ {
+		proc := workload.NewProc(prof, total, uint64(3000+t*17))
+		proc.Warmup, proc.OnWarm = opts.WarmupInstrs, onWarm
+		if _, err := k.Spawn(fmt.Sprintf("%s.t%d", name, t), proc, as.Share(), t); err != nil {
+			return measurement{}, err
+		}
+	}
+	k.Run(1 << 62)
+	if !k.AllExited() {
+		return measurement{}, fmt.Errorf("harness: parsec %s did not finish", name)
+	}
+	if warmed != 2 {
+		return measurement{}, fmt.Errorf("harness: parsec %s never reached steady state", name)
+	}
+	return snapCounters(k).sub(warm), nil
+}
+
+// RunParsec measures one Fig. 9 row.
+func RunParsec(name string, opts Options) (PairResult, error) {
+	opts = opts.withDefaults()
+	mb, err := runParsecOnce(name, cache.SecOff, opts)
+	if err != nil {
+		return PairResult{}, err
+	}
+	mt, err := runParsecOnce(name, cache.SecTimeCache, opts)
+	if err != nil {
+		return PairResult{}, err
+	}
+	return result(name, mb, mt), nil
+}
+
+// RunAllParsec reproduces Figures 9a/9b and the PARSEC rows of Table II.
+func RunAllParsec(opts Options) ([]PairResult, error) {
+	var out []PairResult
+	for _, name := range workload.ParsecNames() {
+		r, err := RunParsec(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SensitivityPoint is one Fig. 10 sweep point.
+type SensitivityPoint struct {
+	LLCSize     int
+	GeoMeanNorm float64
+	OverheadPct float64
+}
+
+// RunLLCSensitivity reproduces Fig. 10: geometric-mean overhead of the
+// same-benchmark pairs at each LLC size.
+func RunLLCSensitivity(sizes []int, pairs []workload.Pair, opts Options) ([]SensitivityPoint, error) {
+	opts = opts.withDefaults()
+	var out []SensitivityPoint
+	for _, size := range sizes {
+		o := opts
+		o.LLCSize = size
+		var norms []float64
+		for _, pair := range pairs {
+			r, err := RunSpecPair(pair, o)
+			if err != nil {
+				return nil, err
+			}
+			norms = append(norms, r.Normalized)
+		}
+		gm := stats.GeoMean(norms)
+		out = append(out, SensitivityPoint{LLCSize: size, GeoMeanNorm: gm, OverheadPct: stats.OverheadPct(gm)})
+	}
+	return out, nil
+}
+
+// DefenseResult is one row of the defense-ablation comparison.
+type DefenseResult struct {
+	Defense    string
+	Normalized float64
+}
+
+// RunDefenseAblation compares the overhead of TimeCache against the
+// alternative defenses DESIGN.md catalogs (FTM, DAWG-lite way partitioning,
+// flush-on-context-switch) on one workload pair.
+func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, error) {
+	opts = opts.withDefaults()
+	pa, err := workload.Spec(pair.A)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := workload.Spec(pair.B)
+	if err != nil {
+		return nil, err
+	}
+	frames := workload.FramesNeeded(pa) + workload.FramesNeeded(pb) + 1024
+
+	type config struct {
+		name          string
+		mode          cache.SecMode
+		partitioned   bool
+		flushOnSwitch bool
+	}
+	configs := []config{
+		{name: "baseline", mode: cache.SecOff},
+		{name: "timecache", mode: cache.SecTimeCache},
+		{name: "ftm", mode: cache.SecFTM},
+		{name: "partitioned", mode: cache.SecOff, partitioned: true},
+		{name: "flush-on-switch", mode: cache.SecOff, flushOnSwitch: true},
+	}
+	var baseline uint64
+	var out []DefenseResult
+	for _, cfgDef := range configs {
+		hcfg := cache.DefaultHierarchyConfig()
+		hcfg.Mode = cfgDef.mode
+		hcfg.LLCSize = opts.LLCSize
+		hcfg.Partitioned = cfgDef.partitioned
+		kcfg := kernel.DefaultConfig()
+		kcfg.FlushOnSwitch = cfgDef.flushOnSwitch
+		if opts.SliceCycles != 0 {
+			kcfg.SliceCycles = opts.SliceCycles
+		}
+		hier := cache.NewHierarchy(hcfg)
+		phys := mem.NewPhysical(frames, hcfg.DRAMLat)
+		k := kernel.New(kcfg, hier, phys)
+		var warm measurement
+		warmed := 0
+		onWarm := func() {
+			warmed++
+			if warmed == 2 {
+				warm = snapCounters(k)
+			}
+		}
+		total := opts.WarmupInstrs + opts.InstrsPerProc
+		_, procA, err := workload.Spawn(k, pa, workload.SpawnOptions{Instrs: total, Seed: 1001})
+		if err != nil {
+			return nil, err
+		}
+		_, procB, err := workload.Spawn(k, pb, workload.SpawnOptions{Instrs: total, Seed: 2002})
+		if err != nil {
+			return nil, err
+		}
+		procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
+		procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
+		k.Run(1 << 62)
+		if !k.AllExited() || warmed != 2 {
+			return nil, fmt.Errorf("harness: ablation %s/%s did not finish", pair.Label, cfgDef.name)
+		}
+		cycles := snapCounters(k).sub(warm).cycles
+		if cfgDef.name == "baseline" {
+			baseline = cycles
+		}
+		out = append(out, DefenseResult{Defense: cfgDef.name, Normalized: stats.Normalized(cycles, baseline)})
+	}
+	return out, nil
+}
+
+// BookkeepingPoint relates scheduler time-slice length to the share of
+// execution time spent on s-bit save/restore.
+type BookkeepingPoint struct {
+	SliceCycles    uint64
+	BookkeepingPct float64
+	OverheadPct    float64
+}
+
+// RunBookkeepingScaling reproduces the §VI-D argument quantitatively: the
+// fixed per-switch DMA cost (1.08 µs = 2160 cycles at 2 GHz) shrinks as a
+// fraction of execution time as the time slice grows toward realistic
+// 1–10 ms scheduler quanta, converging on the paper's ~0.02% figure.
+func RunBookkeepingScaling(pair workload.Pair, slices []uint64, opts Options) ([]BookkeepingPoint, error) {
+	opts = opts.withDefaults()
+	var out []BookkeepingPoint
+	for _, slice := range slices {
+		o := opts
+		o.SliceCycles = slice
+		r, err := RunSpecPair(pair, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BookkeepingPoint{
+			SliceCycles:    slice,
+			BookkeepingPct: r.BookkeepingPct,
+			OverheadPct:    stats.OverheadPct(r.Normalized),
+		})
+	}
+	return out, nil
+}
+
+// SbitCostBreakdown quantifies §VI-D: how many transfers one switch needs
+// per cache and the cycles charged per switch by each cost model.
+type SbitCostBreakdown struct {
+	L1Transfers, LLCTransfers int
+	DMACyclesPerSwitch        uint64
+	CopyCyclesPerSwitch       uint64
+}
+
+// SbitCost computes the §VI-D bookkeeping costs for the configured caches.
+func SbitCost(opts Options) SbitCostBreakdown {
+	opts = opts.withDefaults()
+	l1Lines := (32 << 10) / cache.LineSize
+	llcLines := opts.LLCSize / cache.LineSize
+	dma := core.DefaultCostModel()
+	copyModel := core.CostModel{TransferCycles: 200} // one 64B DRAM transfer
+	return SbitCostBreakdown{
+		L1Transfers:         core.SbitTransfers(l1Lines),
+		LLCTransfers:        core.SbitTransfers(llcLines),
+		DMACyclesPerSwitch:  dma.SwitchCost([]int{l1Lines, l1Lines, llcLines}),
+		CopyCyclesPerSwitch: copyModel.SwitchCost([]int{l1Lines, l1Lines, llcLines}),
+	}
+}

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"testing"
+
+	"timecache/internal/workload"
+)
+
+// smallOpts keeps harness tests fast; calibration-grade runs happen in the
+// benchmarks and the reproduce tool.
+func smallOpts() Options {
+	return Options{InstrsPerProc: 60_000, WarmupInstrs: 120_000}
+}
+
+func TestRunSpecPairProducesSaneRow(t *testing.T) {
+	pair := workload.Pair{Label: "2Xnamd", A: "namd", B: "namd"}
+	r, err := RunSpecPair(pair, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaselineCycles == 0 || r.TimeCacheCycles == 0 {
+		t.Fatal("cycles not measured")
+	}
+	if r.Normalized < 0.9 || r.Normalized > 1.3 {
+		t.Fatalf("normalized time %.4f implausible", r.Normalized)
+	}
+	if r.MPKITC < r.MPKIBase {
+		t.Fatalf("TimeCache MPKI (%.4f) should not be below baseline (%.4f): first accesses add misses",
+			r.MPKITC, r.MPKIBase)
+	}
+	if r.FirstAccess.L1I == 0 {
+		t.Fatal("shared code across context switches must generate L1I first accesses")
+	}
+	if r.ContextSwitches == 0 {
+		t.Fatal("two processes on one core must context switch")
+	}
+	if r.BookkeepingPct <= 0 {
+		t.Fatal("bookkeeping must be charged")
+	}
+}
+
+func TestStreamingPairHasHigherMPKI(t *testing.T) {
+	low, err := RunSpecPair(workload.Pair{Label: "2Xnamd", A: "namd", B: "namd"}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RunSpecPair(workload.Pair{Label: "2Xlbm", A: "lbm", B: "lbm"}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MPKIBase < 10*low.MPKIBase {
+		t.Fatalf("lbm (%.3f) must dwarf namd (%.3f) in LLC MPKI, as in Table II",
+			high.MPKIBase, low.MPKIBase)
+	}
+}
+
+func TestRunParsecNoL1FirstAccesses(t *testing.T) {
+	r, err := RunParsec("blackscholes", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 9b: threads pinned to separate cores never share an L1, so all
+	// first accesses land at the LLC.
+	if r.FirstAccess.L1I != 0 || r.FirstAccess.L1D != 0 {
+		t.Fatalf("PARSEC threads on separate cores must have no L1 first accesses, got i=%.4f d=%.4f",
+			r.FirstAccess.L1I, r.FirstAccess.L1D)
+	}
+	if r.FirstAccess.LLC == 0 {
+		t.Fatal("shared data across cores must generate LLC first accesses")
+	}
+}
+
+func TestLLCSensitivityTrend(t *testing.T) {
+	pairs := []workload.Pair{
+		{Label: "2Xwrf", A: "wrf", B: "wrf"},
+		{Label: "2Xperlbench", A: "perlbench", B: "perlbench"},
+	}
+	pts, err := RunLLCSensitivity([]int{512 << 10, 2 << 20}, pairs, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Fig. 10: overhead shrinks with LLC size (fewer evictions of shared
+	// lines means fewer first accesses).
+	if pts[1].OverheadPct > pts[0].OverheadPct+0.05 {
+		t.Fatalf("2MB overhead (%.3f%%) should not exceed 512KB overhead (%.3f%%)",
+			pts[1].OverheadPct, pts[0].OverheadPct)
+	}
+}
+
+func TestDefenseAblationOrdering(t *testing.T) {
+	rows, err := RunDefenseAblation(workload.Pair{Label: "2Xgobmk", A: "gobmk", B: "gobmk"}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := map[string]float64{}
+	for _, r := range rows {
+		norm[r.Defense] = r.Normalized
+	}
+	if norm["baseline"] != 1.0 {
+		t.Fatalf("baseline must normalize to 1.0, got %v", norm["baseline"])
+	}
+	// Flush-on-switch pays full refills every slice: by far the worst.
+	if norm["flush-on-switch"] < norm["timecache"]+0.05 {
+		t.Fatalf("flush-on-switch (%.4f) must cost much more than TimeCache (%.4f)",
+			norm["flush-on-switch"], norm["timecache"])
+	}
+	// Way partitioning halves effective cache: worse than TimeCache here.
+	if norm["partitioned"] < norm["timecache"] {
+		t.Fatalf("partitioned (%.4f) expected to cost more than TimeCache (%.4f)",
+			norm["partitioned"], norm["timecache"])
+	}
+	if _, ok := norm["ftm"]; !ok {
+		t.Fatal("ftm row missing")
+	}
+}
+
+func TestBookkeepingScalesDownWithSlice(t *testing.T) {
+	pts, err := RunBookkeepingScaling(
+		workload.Pair{Label: "2Xnamd", A: "namd", B: "namd"},
+		[]uint64{100_000, 400_000}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].BookkeepingPct >= pts[0].BookkeepingPct {
+		t.Fatalf("longer slices must shrink bookkeeping share: %.4f%% -> %.4f%%",
+			pts[0].BookkeepingPct, pts[1].BookkeepingPct)
+	}
+}
+
+func TestSbitCostMatchesPaper(t *testing.T) {
+	b := SbitCost(Options{LLCSize: 2 << 20})
+	if b.L1Transfers != 1 {
+		t.Fatalf("32KB L1 s-bit column = %d transfers, want 1", b.L1Transfers)
+	}
+	if b.LLCTransfers != 64 {
+		t.Fatalf("2MB LLC s-bit column = %d transfers, want 64", b.LLCTransfers)
+	}
+	// The DMA model charges the paper's 1.08 µs = 2160 cycles at 2 GHz.
+	if b.DMACyclesPerSwitch != 2160 {
+		t.Fatalf("DMA cycles = %d, want 2160", b.DMACyclesPerSwitch)
+	}
+}
+
+func TestGateLevelMatchesFastPath(t *testing.T) {
+	pair := workload.Pair{Label: "2Xspecrand", A: "specrand", B: "specrand"}
+	opts := Options{InstrsPerProc: 30_000, WarmupInstrs: 50_000}
+	fast, err := RunSpecPair(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gopts := opts
+	gopts.GateLevel = true
+	gate, err := RunSpecPair(pair, gopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gate-level comparator is functionally identical to the reference
+	// comparison, so the simulation outcome must be identical.
+	if fast.TimeCacheCycles != gate.TimeCacheCycles {
+		t.Fatalf("gate-level run diverged: %d vs %d cycles", fast.TimeCacheCycles, gate.TimeCacheCycles)
+	}
+	if fast.MPKITC != gate.MPKITC {
+		t.Fatalf("gate-level MPKI diverged: %v vs %v", fast.MPKITC, gate.MPKITC)
+	}
+}

@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"timecache/internal/cache"
+	"timecache/internal/mem"
+	"timecache/internal/sim"
+)
+
+// procEnv implements sim.Env for the process currently running on a core.
+// It routes memory traffic through the hierarchy under the core's hardware
+// context, charges latencies to the core clock, and dispatches syscalls to
+// the kernel.
+type procEnv struct {
+	k    *Kernel
+	cpu  *coreState
+	proc *Process
+}
+
+var _ sim.Env = (*procEnv)(nil)
+
+func (e *procEnv) Now() uint64 { return e.cpu.clock.Now() }
+
+func (e *procEnv) Tick(n uint64) { e.cpu.clock.Advance(n) }
+
+func (e *procEnv) Instret(n uint64) {
+	e.proc.Stats.Instructions += n
+	e.cpu.sliceInstrs += n
+}
+
+func (e *procEnv) PID() int { return e.proc.PID }
+
+// translate resolves a virtual address with a small per-process TLB.
+func (e *procEnv) translate(vaddr uint64, write bool) uint64 {
+	p := e.proc
+	if p.tlbVer != p.AS.Version() {
+		p.flushTLB()
+		p.tlbVer = p.AS.Version()
+	}
+	vp := vaddr >> mem.PageShift
+	slot := &p.tlb[vp%tlbEntries]
+	if slot.vpage == vp+1 && (!write || slot.write) {
+		return slot.base | (vaddr & (mem.PageSize - 1))
+	}
+	pa, brokeCOW, err := p.AS.Translate(vaddr, write)
+	if err != nil {
+		panic(&procFault{err})
+	}
+	if brokeCOW {
+		e.cpu.clock.Advance(e.k.cfg.MinorFaultCycles)
+		e.k.Stats.COWBreaks++
+		p.tlbVer = p.AS.Version()
+		p.flushTLB()
+	}
+	slot = &p.tlb[vp%tlbEntries] // flushTLB may have cleared it
+	*slot = tlbEntry{vpage: vp + 1, base: pa &^ (mem.PageSize - 1), write: write}
+	return pa
+}
+
+// procFault carries a fatal process error (page fault, protection violation)
+// out of the Env methods; the scheduler recovers it and kills the process.
+type procFault struct{ err error }
+
+func (e *procEnv) access(vaddr uint64, kind cache.Kind) uint64 {
+	write := kind == cache.Store
+	pa := e.translate(vaddr, write)
+	res := e.k.hier.Access(e.cpu.clock.Now(), e.cpu.ctx, pa, kind)
+	e.cpu.clock.Advance(res.Latency)
+	return pa
+}
+
+func (e *procEnv) Fetch(vaddr uint64) { e.access(vaddr, cache.Fetch) }
+
+func (e *procEnv) Load(vaddr uint64) uint64 {
+	pa := e.access(vaddr, cache.Load)
+	return e.k.phys.ReadU64(pa &^ 7)
+}
+
+func (e *procEnv) Store(vaddr uint64, v uint64) {
+	pa := e.access(vaddr, cache.Store)
+	e.k.phys.WriteU64(pa&^7, v)
+}
+
+func (e *procEnv) Flush(vaddr uint64) {
+	pa := e.translate(vaddr, false)
+	lat := e.k.hier.Flush(e.cpu.clock.Now(), e.cpu.ctx, pa)
+	e.cpu.clock.Advance(lat)
+}
+
+func (e *procEnv) Syscall(num, arg uint64) uint64 {
+	return e.k.syscall(e.cpu, e.proc, num, arg)
+}

@@ -1,0 +1,468 @@
+package kernel
+
+import (
+	"fmt"
+
+	"timecache/internal/cache"
+	"timecache/internal/clock"
+	"timecache/internal/core"
+	"timecache/internal/mem"
+	"timecache/internal/sim"
+)
+
+// Config controls kernel behavior.
+type Config struct {
+	// SliceCycles is the scheduler time slice.
+	SliceCycles uint64
+	// SwitchBaseCycles is the context switch cost excluding TimeCache
+	// bookkeeping (register save, scheduler work).
+	SwitchBaseCycles uint64
+	// MinorFaultCycles is charged when a COW page is copied.
+	MinorFaultCycles uint64
+	// Cost models the s-bit save/restore charged per switch when the
+	// hierarchy runs in TimeCache mode.
+	Cost core.CostModel
+	// FlushOnSwitch flushes every cache at each context switch (the
+	// baseline defense the paper contrasts with, §IV-C).
+	FlushOnSwitch bool
+	// KernelLinesPerSyscall is how many shared kernel-text lines each
+	// syscall touches in the calling process's context; this models the
+	// kernel-space sharing the paper identifies as a first-access source.
+	KernelLinesPerSyscall int
+	// KernelTextLines is the size of the kernel text region in lines.
+	KernelTextLines int
+}
+
+// DefaultConfig returns kernel parameters sized for the simulator's scale.
+func DefaultConfig() Config {
+	return Config{
+		SliceCycles:           200_000,
+		SwitchBaseCycles:      2_000,
+		MinorFaultCycles:      600,
+		Cost:                  core.DefaultCostModel(),
+		KernelLinesPerSyscall: 8,
+		KernelTextLines:       512, // 32 KB of kernel text
+	}
+}
+
+// Stats aggregates kernel-wide accounting.
+type Stats struct {
+	ContextSwitches uint64
+	// BookkeepingCycles is the total cycles charged for s-bit save/restore
+	// (the 0.02% component of the paper's 1.13% overhead).
+	BookkeepingCycles uint64
+	// SwitchCycles is total context-switch cost including bookkeeping.
+	SwitchCycles uint64
+	COWBreaks    uint64
+	Syscalls     uint64
+	DedupMerged  uint64
+	Migrations   uint64
+}
+
+// coreState is one schedulable hardware context's state: with SMT the
+// kernel sees every hardware thread as a logical CPU with its own run
+// queue and clock, while sibling threads share L1 caches in the hierarchy.
+type coreState struct {
+	id    int // logical CPU id == global hardware context id
+	ctx   int // global hardware context driven by this CPU
+	clock clock.Clock
+	runq  []*Process
+	cur   *Process
+	// prev is the most recently descheduled process; its s-bit columns are
+	// still in the hardware and must be saved at the next context switch.
+	prev *Process
+	// sliceEnd is the preemption deadline for cur.
+	sliceEnd uint64
+	// sliceInstrs counts instructions in the current slice (debug/stats).
+	sliceInstrs uint64
+}
+
+// Kernel owns the machine: physical memory, the cache hierarchy, cores, and
+// processes.
+type Kernel struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	phys *mem.Physical
+
+	cores   []*coreState
+	procs   []*Process
+	nextPID int
+
+	// shared regions by name (library images, explicit shared memory).
+	regions map[string][]mem.Frame
+
+	// kernelText is the physical region syscalls touch.
+	kernelText []mem.Frame
+
+	Stats Stats
+}
+
+// New builds a kernel over the given hierarchy and physical memory. One
+// hardware context per core is scheduled (the hierarchy may expose more for
+// SMT experiments driven directly through the cache API).
+func New(cfg Config, hier *cache.Hierarchy, phys *mem.Physical) *Kernel {
+	k := &Kernel{
+		cfg:     cfg,
+		hier:    hier,
+		phys:    phys,
+		regions: map[string][]mem.Frame{},
+		nextPID: 1,
+	}
+	ncpus := hier.Contexts()
+	for c := 0; c < ncpus; c++ {
+		k.cores = append(k.cores, &coreState{id: c, ctx: c})
+	}
+	// Allocate the kernel text region.
+	lines := cfg.KernelTextLines
+	if lines <= 0 {
+		lines = 1
+	}
+	pages := (lines*cache.LineSize + mem.PageSize - 1) / mem.PageSize
+	for i := 0; i < pages; i++ {
+		f, err := phys.Alloc()
+		if err != nil {
+			panic(fmt.Sprintf("kernel: cannot allocate kernel text: %v", err))
+		}
+		k.kernelText = append(k.kernelText, f)
+	}
+	return k
+}
+
+// Hierarchy returns the machine's cache hierarchy.
+func (k *Kernel) Hierarchy() *cache.Hierarchy { return k.hier }
+
+// Physical returns the machine's physical memory.
+func (k *Kernel) Physical() *mem.Physical { return k.phys }
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Processes returns all spawned processes.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// SharedRegion returns (creating on first use) a named shared region of the
+// given size; subsequent calls must pass the same size. The initialized
+// contents are written by the first creator via Physical().
+func (k *Kernel) SharedRegion(name string, size uint64) ([]mem.Frame, error) {
+	if fr, ok := k.regions[name]; ok {
+		need := int((size + mem.PageSize - 1) >> mem.PageShift)
+		if need != len(fr) {
+			return nil, fmt.Errorf("kernel: shared region %q size mismatch", name)
+		}
+		return fr, nil
+	}
+	n := int((size + mem.PageSize - 1) >> mem.PageShift)
+	frames := make([]mem.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := k.phys.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	k.regions[name] = frames
+	return frames, nil
+}
+
+// Spawn registers a process running proc in address space as, pinned to
+// core. The address space may be shared with another process (threads).
+func (k *Kernel) Spawn(name string, proc sim.Proc, as *AddressSpace, coreID int) (*Process, error) {
+	if coreID < 0 || coreID >= len(k.cores) {
+		return nil, fmt.Errorf("kernel: core %d out of range", coreID)
+	}
+	p := &Process{
+		PID:   k.nextPID,
+		Name:  name,
+		Core:  coreID,
+		AS:    as,
+		Proc:  proc,
+		State: Ready,
+		saved: map[*cache.Cache]core.SecVec{},
+	}
+	k.nextPID++
+	k.procs = append(k.procs, p)
+	k.cores[coreID].runq = append(k.cores[coreID].runq, p)
+	return p, nil
+}
+
+// syscall handles a kernel service request from the running process.
+func (k *Kernel) syscall(c *coreState, p *Process, num, arg uint64) uint64 {
+	k.Stats.Syscalls++
+	k.touchKernelText(c)
+	switch num {
+	case sim.SysExit:
+		p.ExitCode = arg
+		p.State = Exited
+	case sim.SysYield:
+		// The slice ends now; the scheduler loop rotates the run queue.
+		c.sliceEnd = c.clock.Now()
+	case sim.SysSleep:
+		p.State = Sleeping
+		p.wakeAt = c.clock.Now() + arg
+		c.sliceEnd = c.clock.Now()
+	case sim.SysGetPID:
+		return uint64(p.PID)
+	case sim.SysPrint:
+		// Recorded by the Proc itself (e.g. vm.CPU.Output); nothing to do.
+	default:
+		// Unknown syscalls are ignored, returning 0, like a stub kernel.
+	}
+	return 0
+}
+
+// touchKernelText models the kernel's own cache footprint during a syscall:
+// a few lines of kernel text are fetched in the current hardware context.
+// Because kernel text is shared physical memory, these accesses generate
+// first-access misses across security contexts exactly as the paper notes
+// for system calls and kernel data structures.
+func (k *Kernel) touchKernelText(c *coreState) {
+	n := k.cfg.KernelLinesPerSyscall
+	if n <= 0 || len(k.kernelText) == 0 {
+		return
+	}
+	total := k.cfg.KernelTextLines
+	start := int(k.Stats.Syscalls) * 7 % total
+	for i := 0; i < n; i++ {
+		line := (start + i) % total
+		pa := k.kernelText[line*cache.LineSize/mem.PageSize].Addr() +
+			uint64(line*cache.LineSize%mem.PageSize)
+		res := k.hier.Access(c.clock.Now(), c.ctx, pa, cache.Fetch)
+		c.clock.Advance(res.Latency)
+	}
+}
+
+// contextSwitch performs the software half of TimeCache: save the outgoing
+// process's s-bit columns and Ts, restore the incoming process's columns,
+// and let the hardware comparator reconcile them with current cache state.
+func (k *Kernel) contextSwitch(c *coreState, out, in *Process) {
+	k.Stats.ContextSwitches++
+	start := c.clock.Now()
+	c.clock.Advance(k.cfg.SwitchBaseCycles)
+
+	if k.cfg.FlushOnSwitch {
+		k.hier.FlushAll()
+	}
+	if in != nil {
+		// Partitioned (DAWG-lite) hierarchies confine each security domain
+		// to its ways; processes map to domains by PID.
+		k.hier.SetActiveDomain(k.hier.CoreOf(c.ctx), in.PID)
+	}
+
+	secCaches := k.hier.SecCaches(c.ctx)
+	if len(secCaches) > 0 {
+		if out != nil {
+			for _, cc := range secCaches {
+				out.saved[cc.Cache] = cc.Cache.Sec().SaveColumn(cc.LocalCtx)
+			}
+			out.Ts = c.clock.Now()
+			out.everRan = true
+		}
+		if in != nil {
+			now := c.clock.Now()
+			for _, cc := range secCaches {
+				var v core.SecVec
+				if in.everRan {
+					v = in.saved[cc.Cache]
+				}
+				cc.Cache.Sec().RestoreColumn(cc.LocalCtx, v, in.Ts, now)
+			}
+		}
+		// The paper charges a single DMA transfer per switch for the save
+		// and restore of the s-bit buffer.
+		var lineCounts []int
+		for _, cc := range secCaches {
+			lineCounts = append(lineCounts, cc.Cache.Lines())
+		}
+		bk := k.cfg.Cost.SwitchCost(lineCounts)
+		c.clock.Advance(bk)
+		k.Stats.BookkeepingCycles += bk
+	}
+	k.Stats.SwitchCycles += c.clock.Now() - start
+	if in != nil {
+		in.Stats.Switches++
+	}
+}
+
+// schedule picks the next process for core c and performs the context
+// switch. Returns false if the core has nothing runnable.
+func (k *Kernel) schedule(c *coreState) bool {
+	k.wakeSleepers(c)
+	if len(c.runq) == 0 {
+		// If everything is sleeping, skip idle time to the earliest wake.
+		var earliest uint64
+		found := false
+		for _, p := range k.procs {
+			if p.Core == c.id && p.State == Sleeping {
+				if !found || p.wakeAt < earliest {
+					earliest, found = p.wakeAt, true
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+		if earliest > c.clock.Now() {
+			c.clock.AdvanceTo(earliest)
+		}
+		k.wakeSleepers(c)
+		if len(c.runq) == 0 {
+			return false
+		}
+	}
+	next := c.runq[0]
+	c.runq = c.runq[1:]
+	out := c.prev
+	// Avoid charging a switch when the same single process continues.
+	if out != next {
+		k.contextSwitch(c, out, next)
+	}
+	c.prev = nil
+	c.cur = next
+	next.State = Running
+	c.sliceEnd = c.clock.Now() + k.cfg.SliceCycles
+	c.sliceInstrs = 0
+	return true
+}
+
+func (k *Kernel) wakeSleepers(c *coreState) {
+	for _, p := range k.procs {
+		if p.Core == c.id && p.State == Sleeping && p.wakeAt <= c.clock.Now() {
+			p.State = Ready
+			c.runq = append(c.runq, p)
+		}
+	}
+}
+
+// stepCurrent runs one instruction of the core's current process, handling
+// faults and termination. Returns whether the process remains current.
+func (k *Kernel) stepCurrent(c *coreState) {
+	p := c.cur
+	env := &procEnv{k: k, cpu: c, proc: p}
+	before := c.clock.Now()
+	alive := func() (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if pf, isFault := r.(*procFault); isFault {
+					p.Err = pf.err
+					p.State = Exited
+					ok = false
+					return
+				}
+				panic(r)
+			}
+		}()
+		return p.Proc.Step(env)
+	}()
+	p.Stats.CPUCycles += c.clock.Now() - before
+
+	if !alive || p.State == Exited {
+		if p.State != Exited {
+			p.State = Exited
+		}
+		p.Stats.FinishedAt = c.clock.Now()
+		// An exited process's caching context need not be saved; the next
+		// restore clears its hardware s-bits.
+		c.cur, c.prev = nil, nil
+		return
+	}
+	if p.State == Sleeping {
+		c.cur, c.prev = nil, p
+		return
+	}
+	if c.clock.Now() >= c.sliceEnd {
+		// Preempt: back of the queue. If nothing else is runnable the
+		// scheduler will immediately re-pick it without a switch charge.
+		p.State = Ready
+		c.runq = append(c.runq, p)
+		c.cur, c.prev = nil, p
+	}
+}
+
+// Run advances the machine until every process has exited or any core's
+// clock passes maxCycles. It returns the maximum core clock reached.
+func (k *Kernel) Run(maxCycles uint64) uint64 {
+	for {
+		// Pick the live core whose next event is earliest, keeping
+		// cross-core interleaving fine-grained, deterministic, and causally
+		// ordered. A core whose processes are all sleeping will fast-forward
+		// its clock to the earliest wake, so its effective time is that
+		// wake-up, not its current clock.
+		var c *coreState
+		var cTime uint64
+		for _, cand := range k.cores {
+			if cand.cur == nil && !k.coreHasWork(cand) {
+				continue
+			}
+			t := k.nextEventTime(cand)
+			if c == nil || t < cTime {
+				c, cTime = cand, t
+			}
+		}
+		if c == nil {
+			break // all processes exited
+		}
+		if cTime >= maxCycles {
+			break
+		}
+		if c.cur == nil {
+			if !k.schedule(c) {
+				// Nothing runnable ever again on this core.
+				continue
+			}
+		}
+		k.stepCurrent(c)
+	}
+	var maxT uint64
+	for _, c := range k.cores {
+		if c.clock.Now() > maxT {
+			maxT = c.clock.Now()
+		}
+	}
+	return maxT
+}
+
+// nextEventTime returns the simulation time of core c's next action: its
+// clock if something is runnable now, otherwise the earliest sleeper wake.
+func (k *Kernel) nextEventTime(c *coreState) uint64 {
+	if c.cur != nil || len(c.runq) > 0 {
+		return c.clock.Now()
+	}
+	var earliest uint64
+	found := false
+	for _, p := range k.procs {
+		if p.Core == c.id && p.State == Sleeping {
+			if !found || p.wakeAt < earliest {
+				earliest, found = p.wakeAt, true
+			}
+		}
+	}
+	if found && earliest > c.clock.Now() {
+		return earliest
+	}
+	return c.clock.Now()
+}
+
+func (k *Kernel) coreHasWork(c *coreState) bool {
+	if len(c.runq) > 0 {
+		return true
+	}
+	for _, p := range k.procs {
+		if p.Core == c.id && p.State == Sleeping {
+			return true
+		}
+	}
+	return false
+}
+
+// CoreClock returns core c's current cycle count.
+func (k *Kernel) CoreClock(c int) uint64 { return k.cores[c].clock.Now() }
+
+// AllExited reports whether every process has terminated.
+func (k *Kernel) AllExited() bool {
+	for _, p := range k.procs {
+		if p.State != Exited {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package kernel
+
+import "fmt"
+
+// Migrate moves a ready or sleeping process to another logical CPU. The
+// TimeCache consequences mirror real hardware: the process's saved s-bit
+// columns are keyed by cache, so its LLC caching context survives the move
+// (the LLC is shared), while columns for the old core's private L1s no
+// longer apply — on the new core the L1 columns restore empty and the
+// process pays first accesses there, exactly as a freshly migrated process
+// re-warms its new L1s. Security is unaffected in either direction.
+func (k *Kernel) Migrate(p *Process, newCPU int) error {
+	if newCPU < 0 || newCPU >= len(k.cores) {
+		return fmt.Errorf("kernel: cpu %d out of range", newCPU)
+	}
+	if p.State == Running {
+		return fmt.Errorf("kernel: cannot migrate running process %d", p.PID)
+	}
+	if p.State == Exited {
+		return fmt.Errorf("kernel: cannot migrate exited process %d", p.PID)
+	}
+	if p.Core == newCPU {
+		return nil
+	}
+	old := k.cores[p.Core]
+	// Remove from the old run queue if queued.
+	for i, q := range old.runq {
+		if q == p {
+			old.runq = append(old.runq[:i], old.runq[i+1:]...)
+			break
+		}
+	}
+	// If the process's s-bits are still live in the old core's hardware
+	// (it was the most recently descheduled there), save them now so the
+	// shared-cache (LLC) column follows the process.
+	if old.prev == p {
+		for _, cc := range k.hier.SecCaches(old.ctx) {
+			p.saved[cc.Cache] = cc.Cache.Sec().SaveColumn(cc.LocalCtx)
+		}
+		p.Ts = old.clock.Now()
+		p.everRan = true
+		old.prev = nil
+	}
+	// Drop saved columns for caches the new CPU does not share: the
+	// restore on the new core would not find them anyway, but pruning
+	// keeps the software-side caching context honest (and bounded).
+	keep := map[interface{}]bool{}
+	for _, cc := range k.hier.SecCaches(k.cores[newCPU].ctx) {
+		keep[cc.Cache] = true
+	}
+	for c := range p.saved {
+		if !keep[c] {
+			delete(p.saved, c)
+		}
+	}
+	p.Core = newCPU
+	// The destination clock may trail the origin; the process's Ts must
+	// not be in the destination's future, or restored lines would be
+	// spuriously reset forever. Clamp to the destination clock (safe:
+	// a smaller Ts only causes extra conservative resets).
+	if ts := k.cores[newCPU].clock.Now(); p.Ts > ts {
+		p.Ts = ts
+	}
+	if p.State == Ready {
+		k.cores[newCPU].runq = append(k.cores[newCPU].runq, p)
+	}
+	k.Stats.Migrations++
+	return nil
+}

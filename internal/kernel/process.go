@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"timecache/internal/cache"
+	"timecache/internal/core"
+	"timecache/internal/sim"
+)
+
+// ProcState is a process's scheduler state.
+type ProcState int
+
+// Process states.
+const (
+	Ready ProcState = iota
+	Running
+	Sleeping
+	Exited
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Sleeping:
+		return "sleeping"
+	case Exited:
+		return "exited"
+	}
+	return "unknown"
+}
+
+// ProcStats accumulates per-process accounting.
+type ProcStats struct {
+	// Instructions retired by the process.
+	Instructions uint64
+	// CPUCycles is the time the process spent scheduled.
+	CPUCycles uint64
+	// FinishedAt is the core clock when the process exited (0 if running).
+	FinishedAt uint64
+	// Switches counts times the process was scheduled in.
+	Switches uint64
+}
+
+// Process is a schedulable program instance.
+type Process struct {
+	PID  int
+	Name string
+	Core int // core affinity (fixed at spawn)
+
+	AS   *AddressSpace
+	Proc sim.Proc
+
+	State  ProcState
+	wakeAt uint64
+
+	// Ts is the process's preemption timestamp (full width); the paper's
+	// "context-switch timestamp" saved by software.
+	Ts uint64
+	// everRan marks that saved s-bit columns exist; a process that never
+	// ran restores an all-zero caching context.
+	everRan bool
+	// saved holds the process's s-bit column per cache, written at
+	// preemption and consumed at resumption.
+	saved map[*cache.Cache]core.SecVec
+
+	// ExitCode is the SysExit argument (VM programs) or 0.
+	ExitCode uint64
+	// Err records a fault that killed the process.
+	Err error
+
+	Stats ProcStats
+
+	// tlb is the process's cached translations (invalidated on page-table
+	// version changes).
+	tlb    [tlbEntries]tlbEntry
+	tlbVer uint64
+}
+
+type tlbEntry struct {
+	vpage uint64 // vaddr >> PageShift, +1 so zero value is invalid
+	base  uint64 // physical page base
+	write bool   // translation valid for writes
+}
+
+const tlbEntries = 8
+
+func (p *Process) flushTLB() {
+	p.tlb = [tlbEntries]tlbEntry{}
+}

@@ -1,0 +1,146 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocZeroedAndRefcounted(t *testing.T) {
+	p := NewPhysical(4, 200)
+	f, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Refs(f) != 1 {
+		t.Fatalf("fresh frame refs = %d, want 1", p.Refs(f))
+	}
+	for i, b := range p.Page(f) {
+		if b != 0 {
+			t.Fatalf("fresh frame byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	p := NewPhysical(2, 200)
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); err == nil {
+		t.Fatal("third alloc in a 2-frame memory must fail")
+	}
+}
+
+func TestFreeListReuseZeroes(t *testing.T) {
+	p := NewPhysical(1, 200)
+	f, _ := p.Alloc()
+	p.StoreByte(f.Addr()+7, 0xAB)
+	p.Unref(f)
+	g, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != f {
+		t.Fatalf("expected frame reuse, got %d want %d", g, f)
+	}
+	if p.LoadByte(g.Addr()+7) != 0 {
+		t.Fatal("reused frame must be zeroed")
+	}
+}
+
+func TestRefUnref(t *testing.T) {
+	p := NewPhysical(2, 200)
+	f, _ := p.Alloc()
+	p.Ref(f)
+	p.Unref(f)
+	if p.Refs(f) != 1 {
+		t.Fatalf("refs = %d, want 1", p.Refs(f))
+	}
+	p.Unref(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("access to freed frame must panic")
+		}
+	}()
+	p.LoadByte(f.Addr())
+}
+
+func TestReadWriteU64RoundTrip(t *testing.T) {
+	p := NewPhysical(2, 200)
+	f, _ := p.Alloc()
+	base := f.Addr()
+	f2 := func(off16 uint16, v uint64) bool {
+		off := uint64(off16) % (PageSize - 8)
+		off &^= 7
+		p.WriteU64(base+off, v)
+		return p.ReadU64(base+off) == v
+	}
+	if err := quick.Check(f2, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossPageAccessPanics(t *testing.T) {
+	p := NewPhysical(2, 200)
+	f, _ := p.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-page word access must panic")
+		}
+	}()
+	p.ReadU64(f.Addr() + PageSize - 4)
+}
+
+func TestCopyFrameAndSameContents(t *testing.T) {
+	p := NewPhysical(4, 200)
+	a, _ := p.Alloc()
+	for i := 0; i < PageSize; i += 8 {
+		p.WriteU64(a.Addr()+uint64(i), uint64(i)*31)
+	}
+	b, err := p.CopyFrame(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SameContents(a, b) {
+		t.Fatal("copied frame must match source")
+	}
+	if p.HashFrame(a) != p.HashFrame(b) {
+		t.Fatal("hashes of identical frames must match")
+	}
+	p.StoreByte(b.Addr(), 1)
+	if p.SameContents(a, b) {
+		t.Fatal("frames differ after write")
+	}
+	if p.HashFrame(a) == p.HashFrame(b) {
+		t.Fatal("hashes should differ after write (fnv collision would be astonishing here)")
+	}
+}
+
+func TestFrameAddrRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		fr := Frame(n)
+		return FrameOf(fr.Addr()) == fr && FrameOf(fr.Addr()+PageSize-1) == fr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatedCount(t *testing.T) {
+	p := NewPhysical(8, 200)
+	var fs []Frame
+	for i := 0; i < 5; i++ {
+		f, _ := p.Alloc()
+		fs = append(fs, f)
+	}
+	if p.Allocated() != 5 {
+		t.Fatalf("allocated = %d, want 5", p.Allocated())
+	}
+	p.Unref(fs[2])
+	if p.Allocated() != 4 {
+		t.Fatalf("allocated = %d, want 4", p.Allocated())
+	}
+}

@@ -1,0 +1,169 @@
+// Package replacement provides pluggable cache replacement policies.
+//
+// Policies operate on one cache set at a time: they are told about fills and
+// touches (hits) per way, and asked to pick a victim way. True LRU is the
+// default (and is required by the LRU side-channel attack reproduction from
+// paper §VII-A); tree-PLRU and random are provided as alternatives.
+package replacement
+
+import "fmt"
+
+// Policy decides which way of a cache set to evict.
+//
+// All methods take the set index so one Policy instance manages every set of
+// a cache. Ways are dense indices [0, ways).
+type Policy interface {
+	// Touch records an access (hit or fill) to the given way of a set.
+	Touch(set, way int)
+	// Victim returns the way to evict from a set. Invalid ways should be
+	// preferred by the cache before calling Victim.
+	Victim(set int) int
+	// Name identifies the policy for stats and configuration.
+	Name() string
+}
+
+// Kind names a replacement policy for configuration.
+type Kind string
+
+// Supported replacement policy kinds.
+const (
+	LRU      Kind = "lru"
+	TreePLRU Kind = "tree-plru"
+	Random   Kind = "random"
+)
+
+// New constructs a policy for a cache with the given geometry. Seed is used
+// only by the random policy.
+func New(kind Kind, sets, ways int, seed uint64) (Policy, error) {
+	switch kind {
+	case LRU, "":
+		return NewLRU(sets, ways), nil
+	case TreePLRU:
+		return NewTreePLRU(sets, ways), nil
+	case Random:
+		return NewRandom(sets, ways, seed), nil
+	default:
+		return nil, fmt.Errorf("replacement: unknown policy %q", kind)
+	}
+}
+
+// lru implements true least-recently-used via per-set age stamps.
+type lru struct {
+	ways  int
+	ages  []uint64 // sets*ways age stamps
+	ticks []uint64 // per-set logical clock
+}
+
+// NewLRU returns a true LRU policy.
+func NewLRU(sets, ways int) Policy {
+	checkGeom(sets, ways)
+	return &lru{ways: ways, ages: make([]uint64, sets*ways), ticks: make([]uint64, sets)}
+}
+
+func (l *lru) Name() string { return string(LRU) }
+
+func (l *lru) Touch(set, way int) {
+	l.ticks[set]++
+	l.ages[set*l.ways+way] = l.ticks[set]
+}
+
+func (l *lru) Victim(set int) int {
+	base := set * l.ways
+	victim, oldest := 0, l.ages[base]
+	for w := 1; w < l.ways; w++ {
+		if a := l.ages[base+w]; a < oldest {
+			victim, oldest = w, a
+		}
+	}
+	return victim
+}
+
+// treePLRU implements the classic binary-tree pseudo-LRU. Ways must be a
+// power of two.
+type treePLRU struct {
+	ways int
+	// bits holds ways-1 tree bits per set; bit value 0 means "left subtree
+	// is older" (victim lives left), 1 means right.
+	bits [][]bool
+}
+
+// NewTreePLRU returns a tree-PLRU policy. Ways must be a power of two.
+func NewTreePLRU(sets, ways int) Policy {
+	checkGeom(sets, ways)
+	if ways&(ways-1) != 0 {
+		panic("replacement: tree-plru requires power-of-two ways")
+	}
+	b := make([][]bool, sets)
+	for i := range b {
+		b[i] = make([]bool, ways-1)
+	}
+	return &treePLRU{ways: ways, bits: b}
+}
+
+func (t *treePLRU) Name() string { return string(TreePLRU) }
+
+// Touch flips the tree bits along the path to way so they point away from it.
+func (t *treePLRU) Touch(set, way int) {
+	bits := t.bits[set]
+	node, lo, hi := 0, 0, t.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			bits[node] = true // point at right: left was just used
+			node = 2*node + 1
+			hi = mid
+		} else {
+			bits[node] = false // point at left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// Victim follows the tree bits to the pseudo-oldest way.
+func (t *treePLRU) Victim(set int) int {
+	bits := t.bits[set]
+	node, lo, hi := 0, 0, t.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if bits[node] {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// random picks victims with an xorshift64* PRNG so runs stay reproducible.
+type random struct {
+	ways  int
+	state uint64
+}
+
+// NewRandom returns a seeded random-victim policy.
+func NewRandom(sets, ways int, seed uint64) Policy {
+	checkGeom(sets, ways)
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &random{ways: ways, state: seed}
+}
+
+func (r *random) Name() string       { return string(Random) }
+func (r *random) Touch(set, way int) {}
+
+func (r *random) Victim(set int) int {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return int((r.state * 0x2545F4914F6CDD1D) >> 33 % uint64(r.ways))
+}
+
+func checkGeom(sets, ways int) {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("replacement: invalid geometry sets=%d ways=%d", sets, ways))
+	}
+}

@@ -1,0 +1,299 @@
+package rsa
+
+import (
+	"fmt"
+
+	"timecache/internal/sim"
+)
+
+// Int is a little-endian multi-precision unsigned integer (32-bit limbs,
+// so products fit in uint64 without overflow tricks). It is the arithmetic
+// core of the big-number victim: a GnuPG-like MPI with schoolbook multiply
+// and shift-subtract reduction, whose work per routine call scales with
+// limb count — giving the victim realistic, operand-dependent timing on
+// top of its key-dependent control flow.
+type Int struct {
+	limbs []uint32
+}
+
+// NewInt builds an Int from a uint64.
+func NewInt(v uint64) *Int {
+	i := &Int{limbs: []uint32{uint32(v), uint32(v >> 32)}}
+	i.trim()
+	return i
+}
+
+// NewIntFromLimbs builds an Int from little-endian 32-bit limbs (copied).
+func NewIntFromLimbs(limbs []uint32) *Int {
+	i := &Int{limbs: append([]uint32(nil), limbs...)}
+	i.trim()
+	return i
+}
+
+func (x *Int) trim() {
+	n := len(x.limbs)
+	for n > 0 && x.limbs[n-1] == 0 {
+		n--
+	}
+	x.limbs = x.limbs[:n]
+}
+
+// Len returns the number of significant limbs.
+func (x *Int) Len() int { return len(x.limbs) }
+
+// IsZero reports whether x == 0.
+func (x *Int) IsZero() bool { return len(x.limbs) == 0 }
+
+// Uint64 returns the low 64 bits of x.
+func (x *Int) Uint64() uint64 {
+	var v uint64
+	if len(x.limbs) > 0 {
+		v = uint64(x.limbs[0])
+	}
+	if len(x.limbs) > 1 {
+		v |= uint64(x.limbs[1]) << 32
+	}
+	return v
+}
+
+// Cmp returns -1, 0, or 1 as x <, ==, > y.
+func (x *Int) Cmp(y *Int) int {
+	if len(x.limbs) != len(y.limbs) {
+		if len(x.limbs) < len(y.limbs) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(x.limbs) - 1; i >= 0; i-- {
+		if x.limbs[i] != y.limbs[i] {
+			if x.limbs[i] < y.limbs[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Mul returns x*y (schoolbook, O(n*m) limb products).
+func (x *Int) Mul(y *Int) *Int {
+	if x.IsZero() || y.IsZero() {
+		return &Int{}
+	}
+	out := make([]uint32, len(x.limbs)+len(y.limbs))
+	for i, xv := range x.limbs {
+		var carry uint64
+		for j, yv := range y.limbs {
+			cur := uint64(out[i+j]) + uint64(xv)*uint64(yv) + carry
+			out[i+j] = uint32(cur)
+			carry = cur >> 32
+		}
+		k := i + len(y.limbs)
+		for carry > 0 {
+			cur := uint64(out[k]) + carry
+			out[k] = uint32(cur)
+			carry = cur >> 32
+			k++
+		}
+	}
+	r := &Int{limbs: out}
+	r.trim()
+	return r
+}
+
+// shl returns x << (32*limbs + bits), bits in [0,32).
+func (x *Int) shl(limbShift int, bits uint) *Int {
+	if x.IsZero() {
+		return &Int{}
+	}
+	out := make([]uint32, len(x.limbs)+limbShift+1)
+	var carry uint32
+	for i, v := range x.limbs {
+		cur := uint64(v) << bits
+		out[i+limbShift] = uint32(cur) | carry
+		carry = uint32(cur >> 32)
+	}
+	out[len(x.limbs)+limbShift] = carry
+	r := &Int{limbs: out}
+	r.trim()
+	return r
+}
+
+// sub sets x = x - y in place; x must be >= y.
+func (x *Int) sub(y *Int) {
+	var borrow uint64
+	for i := 0; i < len(x.limbs); i++ {
+		var yv uint64
+		if i < len(y.limbs) {
+			yv = uint64(y.limbs[i])
+		}
+		cur := uint64(x.limbs[i]) - yv - borrow
+		x.limbs[i] = uint32(cur)
+		borrow = (cur >> 32) & 1
+	}
+	if borrow != 0 {
+		panic("rsa: bignum subtraction underflow")
+	}
+	x.trim()
+}
+
+// bitLen returns the bit length of x.
+func (x *Int) bitLen() int {
+	if x.IsZero() {
+		return 0
+	}
+	top := x.limbs[len(x.limbs)-1]
+	n := (len(x.limbs) - 1) * 32
+	for top > 0 {
+		n++
+		top >>= 1
+	}
+	return n
+}
+
+// Mod returns x mod m via binary shift-subtract long division — the
+// Reduce step of the victim, O(bitlen difference) limb passes.
+func (x *Int) Mod(m *Int) *Int {
+	if m.IsZero() {
+		panic("rsa: modulo by zero")
+	}
+	r := &Int{limbs: append([]uint32(nil), x.limbs...)}
+	r.trim()
+	for r.Cmp(m) >= 0 {
+		shift := r.bitLen() - m.bitLen()
+		t := m.shl(shift/32, uint(shift%32))
+		if t.Cmp(r) > 0 {
+			shift--
+			t = m.shl(shift/32, uint(shift%32))
+		}
+		r.sub(t)
+	}
+	return r
+}
+
+// limbOps estimates the limb operations of the last call, used to charge
+// simulation cycles proportional to real work.
+func mulLimbOps(a, b *Int) uint64 { return uint64(a.Len()*b.Len()) + 1 }
+
+// BigVictim performs left-to-right square-and-multiply over multi-precision
+// operands. Like Victim it touches the shared library's Square, Multiply,
+// and Reduce entry lines with key-dependent control flow, but each routine
+// also charges cycles proportional to its limb work and walks the
+// operands' limbs through the data cache, giving the victim a realistic
+// data footprint.
+type BigVictim struct {
+	Lib     Library
+	Key     Key
+	Base    *Int
+	Modulus *Int
+
+	// OperandBase is the victim-private virtual address where operand
+	// limbs are (logically) stored; each routine call streams them.
+	OperandBase uint64
+
+	Result   *Int
+	Finished bool
+
+	bitIdx int
+	phase  int
+	acc    *Int
+	inited bool
+}
+
+// NewBigVictim builds a multi-precision victim.
+func NewBigVictim(lib Library, key Key, base, modulus *Int, operandBase uint64) *BigVictim {
+	if modulus.IsZero() {
+		panic("rsa: zero modulus")
+	}
+	return &BigVictim{Lib: lib, Key: key, Base: base.Mod(modulus), Modulus: modulus, OperandBase: operandBase}
+}
+
+// call models one routine: fetch its shared entry line, stream the
+// accumulator limbs through the D-cache, and charge the limb work.
+func (v *BigVictim) call(env sim.Env, addr uint64, limbOps uint64) {
+	env.Fetch(addr)
+	for i := 0; i < v.acc.Len(); i++ {
+		env.Load(v.OperandBase + uint64(i)*4)
+	}
+	env.Tick(4 * limbOps)
+	env.Instret(limbOps + 1)
+}
+
+// Step implements sim.Proc.
+func (v *BigVictim) Step(env sim.Env) bool {
+	if v.Finished {
+		return false
+	}
+	if !v.inited {
+		v.acc = NewInt(1)
+		v.inited = true
+	}
+	if v.bitIdx >= len(v.Key) {
+		v.Result = v.acc
+		v.Finished = true
+		env.Syscall(sim.SysExit, v.Result.Uint64())
+		return false
+	}
+	bit := v.Key[v.bitIdx]
+	switch v.phase {
+	case 0: // Square
+		ops := mulLimbOps(v.acc, v.acc)
+		v.acc = v.acc.Mul(v.acc)
+		v.call(env, v.Lib.SquareAddr(), ops)
+		v.phase = 1
+	case 1: // Reduce
+		v.acc = v.acc.Mod(v.Modulus)
+		v.call(env, v.Lib.ReduceAddr(), uint64(v.acc.Len())+1)
+		if bit {
+			v.phase = 2
+		} else {
+			v.phase = 4
+		}
+	case 2: // Multiply
+		ops := mulLimbOps(v.acc, v.Base)
+		v.acc = v.acc.Mul(v.Base)
+		v.call(env, v.Lib.MultiplyAddr(), ops)
+		v.phase = 3
+	case 3: // Reduce after multiply
+		v.acc = v.acc.Mod(v.Modulus)
+		v.call(env, v.Lib.ReduceAddr(), uint64(v.acc.Len())+1)
+		v.phase = 4
+	case 4:
+		v.bitIdx++
+		v.phase = 0
+		env.Syscall(sim.SysYield, 0)
+	}
+	return true
+}
+
+// BigModExp is the reference multi-precision modular exponentiation.
+func BigModExp(base *Int, key Key, modulus *Int) *Int {
+	if modulus.IsZero() {
+		panic("rsa: zero modulus")
+	}
+	acc := NewInt(1)
+	b := base.Mod(modulus)
+	for _, bit := range key {
+		acc = acc.Mul(acc).Mod(modulus)
+		if bit {
+			acc = acc.Mul(b).Mod(modulus)
+		}
+	}
+	return acc
+}
+
+// String renders the Int in hex for diagnostics.
+func (x *Int) String() string {
+	if x.IsZero() {
+		return "0x0"
+	}
+	s := "0x"
+	for i := len(x.limbs) - 1; i >= 0; i-- {
+		if i == len(x.limbs)-1 {
+			s += fmt.Sprintf("%x", x.limbs[i])
+		} else {
+			s += fmt.Sprintf("%08x", x.limbs[i])
+		}
+	}
+	return s
+}

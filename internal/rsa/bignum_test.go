@@ -1,0 +1,142 @@
+package rsa
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func toBig(x *Int) *big.Int {
+	out := new(big.Int)
+	for i := x.Len() - 1; i >= 0; i-- {
+		out.Lsh(out, 32)
+		out.Or(out, big.NewInt(int64(x.limbs[i])))
+	}
+	return out
+}
+
+func fromU64s(vals ...uint64) *Int {
+	var limbs []uint32
+	for _, v := range vals {
+		limbs = append(limbs, uint32(v), uint32(v>>32))
+	}
+	return NewIntFromLimbs(limbs)
+}
+
+func TestIntBasics(t *testing.T) {
+	z := NewInt(0)
+	if !z.IsZero() || z.Len() != 0 {
+		t.Fatal("zero")
+	}
+	x := NewInt(0xDEADBEEF12345678)
+	if x.Uint64() != 0xDEADBEEF12345678 {
+		t.Fatalf("uint64 roundtrip: %x", x.Uint64())
+	}
+	if x.Cmp(NewInt(1)) != 1 || NewInt(1).Cmp(x) != -1 || x.Cmp(x) != 0 {
+		t.Fatal("cmp")
+	}
+	if x.String() == "" || z.String() != "0x0" {
+		t.Fatal("string")
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		x, y := fromU64s(a, b), fromU64s(c, d)
+		got := toBig(x.Mul(y))
+		want := new(big.Int).Mul(toBig(x), toBig(y))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModMatchesBig(t *testing.T) {
+	f := func(a, b, c, m uint64) bool {
+		x := fromU64s(a, b, c)
+		mod := NewInt(m | 1) // avoid zero
+		got := toBig(x.Mod(mod))
+		want := new(big.Int).Mod(toBig(x), toBig(mod))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigModExpMatchesBig(t *testing.T) {
+	f := func(seed uint64, baseRaw uint64, mRaw uint32) bool {
+		key := GenerateKey(24, seed)
+		base := NewInt(baseRaw)
+		mod := NewInt(uint64(mRaw) + 3)
+		got := toBig(BigModExp(base, key, mod))
+		exp := new(big.Int)
+		for _, bit := range key {
+			exp.Lsh(exp, 1)
+			if bit {
+				exp.Or(exp, big.NewInt(1))
+			}
+		}
+		want := new(big.Int).Exp(toBig(base), exp, toBig(mod))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigVictimSequenceAndResult(t *testing.T) {
+	lib := DefaultLibrary(0x1000)
+	key := Key{true, true, false} // srmr srmr sr
+	base := fromU64s(0x123456789ABCDEF0, 0xFEDCBA9876543210)
+	mod := fromU64s(0xFFFFFFFFFFFFFFC5, 0x1) // a 65-bit modulus
+	v := NewBigVictim(lib, key, base, mod, 0x20000)
+	e := &scriptEnv{}
+	for v.Step(e) {
+	}
+	if !v.Finished {
+		t.Fatal("victim did not finish")
+	}
+	want := BigModExp(base, key, mod)
+	if v.Result.Cmp(want) != 0 {
+		t.Fatalf("result %s != reference %s", v.Result, want)
+	}
+	// Control flow: sq,red,mul,red twice then sq,red.
+	wantSeq := []uint64{
+		lib.SquareAddr(), lib.ReduceAddr(), lib.MultiplyAddr(), lib.ReduceAddr(),
+		lib.SquareAddr(), lib.ReduceAddr(), lib.MultiplyAddr(), lib.ReduceAddr(),
+		lib.SquareAddr(), lib.ReduceAddr(),
+	}
+	if len(e.fetches) != len(wantSeq) {
+		t.Fatalf("fetches %d, want %d", len(e.fetches), len(wantSeq))
+	}
+	for i, w := range wantSeq {
+		if e.fetches[i] != w {
+			t.Fatalf("fetch %d = %#x, want %#x", i, e.fetches[i], w)
+		}
+	}
+	if e.yields != len(key) {
+		t.Fatalf("yields = %d, want %d", e.yields, len(key))
+	}
+}
+
+func TestBigVictimWorkScalesWithOperands(t *testing.T) {
+	lib := DefaultLibrary(0x1000)
+	key := GenerateKey(8, 3)
+	small := NewBigVictim(lib, key, NewInt(3), NewInt(1000003), 0x20000)
+	bigOp := NewBigVictim(lib, key,
+		fromU64s(3, 0, 0, 0),
+		fromU64s(0xFFFFFFFFFFFFFFC5, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x1),
+		0x20000)
+	run := func(v *BigVictim) uint64 {
+		e := &scriptEnv{}
+		for v.Step(e) {
+		}
+		return e.now
+	}
+	ts, tb := run(small), run(bigOp)
+	if tb < ts*3/2 {
+		t.Fatalf("big operands should cost substantially more: %d vs %d cycles", tb, ts)
+	}
+}

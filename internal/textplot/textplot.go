@@ -1,0 +1,149 @@
+// Package textplot renders simple ASCII bar charts for the reproduce tool,
+// approximating the paper's figures in terminal output.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Chart is a horizontal bar chart.
+type Chart struct {
+	Title string
+	Bars  []Bar
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// Baseline subtracts a reference value before scaling (useful for
+	// normalized-execution-time charts where 1.0 is the floor).
+	Baseline float64
+	// Format renders the numeric value (default "%.4f").
+	Format string
+}
+
+// Add appends a bar.
+func (c *Chart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	format := c.Format
+	if format == "" {
+		format = "%.4f"
+	}
+	labelW := 0
+	maxV := 0.0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		if v := b.Value - c.Baseline; v > maxV {
+			maxV = v
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(c.Title)))
+		sb.WriteByte('\n')
+	}
+	for _, b := range c.Bars {
+		v := b.Value - c.Baseline
+		n := 0
+		if maxV > 0 && v > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%-*s | %s %s\n", labelW, b.Label,
+			strings.Repeat("#", n), fmt.Sprintf(format, b.Value))
+	}
+	return sb.String()
+}
+
+// Grouped renders series of values per label as consecutive rows (used for
+// the per-level MPKI figures).
+type Grouped struct {
+	Title  string
+	Series []string // one name per value column
+	Rows   []GroupedRow
+	Width  int
+	Format string
+}
+
+// GroupedRow is one label with one value per series.
+type GroupedRow struct {
+	Label  string
+	Values []float64
+}
+
+// Add appends a row.
+func (g *Grouped) Add(label string, values ...float64) {
+	g.Rows = append(g.Rows, GroupedRow{Label: label, Values: values})
+}
+
+// String renders the grouped chart.
+func (g *Grouped) String() string {
+	width := g.Width
+	if width <= 0 {
+		width = 40
+	}
+	format := g.Format
+	if format == "" {
+		format = "%.4f"
+	}
+	labelW := 0
+	seriesW := 0
+	maxV := 0.0
+	for _, r := range g.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		for _, v := range r.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	for _, s := range g.Series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	var sb strings.Builder
+	if g.Title != "" {
+		sb.WriteString(g.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(g.Title)))
+		sb.WriteByte('\n')
+	}
+	for _, r := range g.Rows {
+		for i, v := range r.Values {
+			name := ""
+			if i < len(g.Series) {
+				name = g.Series[i]
+			}
+			lbl := ""
+			if i == 0 {
+				lbl = r.Label
+			}
+			n := 0
+			if maxV > 0 && v > 0 {
+				n = int(math.Round(v / maxV * float64(width)))
+			}
+			fmt.Fprintf(&sb, "%-*s %-*s | %s %s\n", labelW, lbl, seriesW, name,
+				strings.Repeat("#", n), fmt.Sprintf(format, v))
+		}
+	}
+	return sb.String()
+}

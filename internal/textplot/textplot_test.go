@@ -1,0 +1,68 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersBars(t *testing.T) {
+	c := Chart{Title: "overheads", Width: 10}
+	c.Add("a", 2)
+	c.Add("bb", 4)
+	s := c.String()
+	if !strings.Contains(s, "overheads") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want title+rule+2 rows, got %d:\n%s", len(lines), s)
+	}
+	// The 4-value bar must be twice the 2-value bar.
+	aHashes := strings.Count(lines[2], "#")
+	bHashes := strings.Count(lines[3], "#")
+	if bHashes != 10 || aHashes != 5 {
+		t.Fatalf("bar scaling wrong: a=%d b=%d\n%s", aHashes, bHashes, s)
+	}
+}
+
+func TestChartBaseline(t *testing.T) {
+	c := Chart{Baseline: 1.0, Width: 10}
+	c.Add("x", 1.0) // at baseline: zero-length bar
+	c.Add("y", 1.5)
+	s := c.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if strings.Count(lines[0], "#") != 0 {
+		t.Fatal("baseline bar should be empty")
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatal("max bar should be full width")
+	}
+}
+
+func TestChartEmptyAndZeroSafe(t *testing.T) {
+	var c Chart
+	if c.String() != "" {
+		t.Fatal("empty chart renders empty")
+	}
+	c.Add("z", 0)
+	if !strings.Contains(c.String(), "z") {
+		t.Fatal("zero-value bars still render labels")
+	}
+}
+
+func TestGrouped(t *testing.T) {
+	g := Grouped{Title: "mpki", Series: []string{"l1i", "llc"}, Width: 8}
+	g.Add("lbm", 1.0, 0.5)
+	g.Add("wrf", 2.0, 1.0)
+	s := g.String()
+	if !strings.Contains(s, "l1i") || !strings.Contains(s, "llc") {
+		t.Fatal("series names missing")
+	}
+	if !strings.Contains(s, "lbm") || !strings.Contains(s, "wrf") {
+		t.Fatal("labels missing")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 2+4 {
+		t.Fatalf("want title+rule+4 rows, got %d", len(lines))
+	}
+}

@@ -1,0 +1,235 @@
+// Package trace records and replays memory access traces. A RecordingProc
+// wraps any sim.Proc and tees its memory operations into a compact binary
+// stream; a ReplayProc drives the simulated hierarchy from a recorded (or
+// externally generated) stream. Replaying a recording through an identical
+// machine reproduces the original cache behavior exactly, which makes
+// traces useful for regression pinning, sharing workloads, and driving the
+// simulator from real-application traces collected elsewhere.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"timecache/internal/sim"
+)
+
+// Kind tags one trace record.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindFetch Kind = iota
+	KindLoad
+	KindStore
+	KindFlush
+	KindTick    // Addr holds the cycle count
+	KindInstret // Addr holds the instruction count
+	kindCount
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFetch:
+		return "fetch"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindFlush:
+		return "flush"
+	case KindTick:
+		return "tick"
+	case KindInstret:
+		return "instret"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one traced operation.
+type Record struct {
+	Kind Kind
+	Addr uint64 // address, or count for Tick/Instret
+}
+
+// magic identifies the binary trace format.
+var magic = [4]byte{'T', 'C', 'T', '1'}
+
+// Writer streams records to an io.Writer in a compact varint encoding.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	n       int
+	buf     [binary.MaxVarintLen64 + 1]byte
+}
+
+// NewWriter creates a trace writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if !tw.started {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	if r.Kind >= kindCount {
+		return fmt.Errorf("trace: invalid kind %d", r.Kind)
+	}
+	tw.buf[0] = byte(r.Kind)
+	n := binary.PutUvarint(tw.buf[1:], r.Addr)
+	if _, err := tw.w.Write(tw.buf[:1+n]); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() int { return tw.n }
+
+// Flush drains buffered output.
+func (tw *Writer) Flush() error {
+	if !tw.started {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader creates a trace reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Read returns the next record, or io.EOF at end of trace.
+func (tr *Reader) Read() (Record, error) {
+	if !tr.started {
+		var got [4]byte
+		if _, err := io.ReadFull(tr.r, got[:]); err != nil {
+			return Record{}, fmt.Errorf("trace: bad header: %w", err)
+		}
+		if got != magic {
+			return Record{}, errors.New("trace: not a trace stream (bad magic)")
+		}
+		tr.started = true
+	}
+	k, err := tr.r.ReadByte()
+	if err != nil {
+		return Record{}, err // io.EOF at a record boundary is clean EOF
+	}
+	if Kind(k) >= kindCount {
+		return Record{}, fmt.Errorf("trace: corrupt stream: kind %d", k)
+	}
+	addr, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	return Record{Kind: Kind(k), Addr: addr}, nil
+}
+
+// ReadAll decodes the remaining records.
+func (tr *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		r, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+}
+
+// recordingEnv tees every Env operation into the writer.
+type recordingEnv struct {
+	sim.Env
+	w   *Writer
+	err error
+}
+
+func (e *recordingEnv) rec(r Record) {
+	if e.err == nil {
+		e.err = e.w.Write(r)
+	}
+}
+
+func (e *recordingEnv) Fetch(v uint64) { e.rec(Record{KindFetch, v}); e.Env.Fetch(v) }
+func (e *recordingEnv) Load(v uint64) uint64 {
+	e.rec(Record{KindLoad, v})
+	return e.Env.Load(v)
+}
+func (e *recordingEnv) Store(v uint64, x uint64) { e.rec(Record{KindStore, v}); e.Env.Store(v, x) }
+func (e *recordingEnv) Flush(v uint64)           { e.rec(Record{KindFlush, v}); e.Env.Flush(v) }
+func (e *recordingEnv) Tick(n uint64)            { e.rec(Record{KindTick, n}); e.Env.Tick(n) }
+func (e *recordingEnv) Instret(n uint64)         { e.rec(Record{KindInstret, n}); e.Env.Instret(n) }
+
+// RecordingProc wraps a Proc, recording its memory operations. Stores are
+// recorded by address only (values are not part of the timing model).
+type RecordingProc struct {
+	Inner sim.Proc
+	W     *Writer
+	// Err holds the first write error; the proc keeps running regardless.
+	Err error
+}
+
+// Step implements sim.Proc.
+func (p *RecordingProc) Step(env sim.Env) bool {
+	re := &recordingEnv{Env: env, w: p.W}
+	alive := p.Inner.Step(re)
+	if p.Err == nil {
+		p.Err = re.err
+	}
+	return alive
+}
+
+// ReplayProc replays a record stream through the hierarchy, one record per
+// Step. Stores write the record's address with a zero value.
+type ReplayProc struct {
+	Records []Record
+	pos     int
+}
+
+// Step implements sim.Proc.
+func (p *ReplayProc) Step(env sim.Env) bool {
+	if p.pos >= len(p.Records) {
+		env.Syscall(sim.SysExit, 0)
+		return false
+	}
+	r := p.Records[p.pos]
+	p.pos++
+	switch r.Kind {
+	case KindFetch:
+		env.Fetch(r.Addr)
+	case KindLoad:
+		env.Load(r.Addr)
+	case KindStore:
+		env.Store(r.Addr, 0)
+	case KindFlush:
+		env.Flush(r.Addr)
+	case KindTick:
+		env.Tick(r.Addr)
+	case KindInstret:
+		env.Instret(r.Addr)
+	}
+	return true
+}
+
+// Replayed returns how many records have been consumed.
+func (p *ReplayProc) Replayed() int { return p.pos }
