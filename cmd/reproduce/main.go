@@ -21,6 +21,7 @@ import (
 
 	"timecache"
 	"timecache/internal/stats"
+	"timecache/internal/telemetry"
 	"timecache/internal/textplot"
 )
 
@@ -31,6 +32,12 @@ func main() {
 		only   = flag.String("only", "", "run a single experiment")
 		instrs = flag.Uint64("instrs", 0, "override measured instructions per process")
 		warmup = flag.Uint64("warmup", 0, "override warmup instructions per process")
+
+		withTelemetry = flag.Bool("telemetry", false, "attach telemetry to every run: interval metrics + run manifests next to the CSVs in -out")
+		metricsOut    = flag.String("metrics-out", "", "interval-metrics CSV base path (suffixed per workload/mode)")
+		traceJSON     = flag.String("trace-json", "", "Chrome trace-event JSON base path (suffixed per workload/mode)")
+		manifest      = flag.String("manifest", "", "run-manifest JSON base path (suffixed per workload/mode)")
+		sampleEvery   = flag.Uint64("sample-every", 0, "interval sampler period in instructions (default 10000)")
 	)
 	flag.Parse()
 
@@ -46,6 +53,22 @@ func main() {
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
+	}
+	if *withTelemetry {
+		if *metricsOut == "" {
+			*metricsOut = filepath.Join(*out, "metrics.csv")
+		}
+		if *manifest == "" {
+			*manifest = filepath.Join(*out, "manifest.json")
+		}
+	}
+	if *metricsOut != "" || *traceJSON != "" || *manifest != "" {
+		opts.Telemetry = &telemetry.Config{
+			SampleEvery:  *sampleEvery,
+			MetricsCSV:   *metricsOut,
+			TraceJSON:    *traceJSON,
+			ManifestJSON: *manifest,
+		}
 	}
 
 	experiments := []struct {

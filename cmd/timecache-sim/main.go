@@ -7,6 +7,14 @@
 //	timecache-sim -mode timecache -workloads lbm,wrf -instrs 300000
 //	timecache-sim -mode baseline  -workloads 2Xperlbench
 //	timecache-sim -compare -workloads 2Xlbm   # run baseline AND timecache
+//
+// Telemetry outputs (any may be combined; see internal/telemetry):
+//
+//	timecache-sim -mode timecache -metrics-out m.csv -sample-every 5000
+//	timecache-sim -mode timecache -trace-json t.json    # load in Perfetto
+//	timecache-sim -mode timecache -manifest run.json -hist
+//
+// In -compare mode the telemetry outputs come from the timecache leg.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"timecache"
 	"timecache/internal/stats"
+	"timecache/internal/telemetry"
 )
 
 func main() {
@@ -28,11 +37,29 @@ func main() {
 		cores     = flag.Int("cores", 1, "number of cores")
 		compare   = flag.Bool("compare", false, "run baseline and timecache and report normalized time")
 		gate      = flag.Bool("gatelevel", false, "use the gate-level bit-serial comparator")
+
+		metricsOut  = flag.String("metrics-out", "", "write interval-metrics CSV to this path")
+		histOut     = flag.String("hist-out", "", "write latency-histogram CSV to this path")
+		traceJSON   = flag.String("trace-json", "", "write Chrome trace-event JSON (Perfetto-loadable) to this path")
+		manifest    = flag.String("manifest", "", "write a JSON run manifest to this path")
+		sampleEvery = flag.Uint64("sample-every", 0, "interval sampler period in instructions (default 10000)")
+		traceAcc    = flag.Bool("trace-accesses", false, "add per-access instant events to the trace (verbose)")
+		showHist    = flag.Bool("hist", false, "print latency histograms after the run")
 	)
 	flag.Parse()
 
+	tcfg := telemetry.Config{
+		SampleEvery:   *sampleEvery,
+		TraceAccesses: *traceAcc,
+		MetricsCSV:    *metricsOut,
+		HistogramCSV:  *histOut,
+		TraceJSON:     *traceJSON,
+		ManifestJSON:  *manifest,
+	}
+	telemetryOn := tcfg != (telemetry.Config{}) || *showHist
+
 	if *compare {
-		if err := runCompare(*workloads, *instrs, *llc, *cores, *gate); err != nil {
+		if err := runCompare(*workloads, *instrs, *llc, *cores, *gate, tcfg, telemetryOn, *showHist); err != nil {
 			fatal(err)
 		}
 		return
@@ -41,11 +68,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cycles, st, err := runOnce(mode, *workloads, *instrs, *llc, *cores, *gate)
+	cycles, st, col, err := runOnce(mode, *workloads, *instrs, *llc, *cores, *gate, tcfg, telemetryOn)
 	if err != nil {
 		fatal(err)
 	}
 	printStats(mode, cycles, st)
+	reportTelemetry(col, *showHist)
 }
 
 func parseMode(s string) (timecache.Mode, error) {
@@ -78,45 +106,74 @@ func expand(list string) []string {
 	return out
 }
 
-func runOnce(mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate bool) (uint64, timecache.Stats, error) {
+func runOnce(mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate bool, tcfg telemetry.Config, withTelemetry bool) (uint64, timecache.Stats, *telemetry.Collector, error) {
 	sys, err := timecache.New(timecache.Config{
 		Mode: mode, LLCSize: llc, Cores: cores, GateLevel: gate,
 	})
 	if err != nil {
-		return 0, timecache.Stats{}, err
+		return 0, timecache.Stats{}, nil, err
+	}
+	var col *telemetry.Collector
+	if withTelemetry {
+		col = sys.AttachTelemetry(tcfg)
+		col.SetMeta("workloads", workloads)
+		col.SetMeta("instrs_per_proc", instrs)
+		col.SetMeta("mode", mode.String())
 	}
 	names := expand(workloads)
 	if len(names) == 0 {
-		return 0, timecache.Stats{}, fmt.Errorf("no workloads given")
+		return 0, timecache.Stats{}, nil, fmt.Errorf("no workloads given")
 	}
 	for i, name := range names {
 		if _, err := sys.SpawnSpec(name, i%cores, instrs, uint64(1001+i*1001)); err != nil {
-			return 0, timecache.Stats{}, err
+			return 0, timecache.Stats{}, nil, err
 		}
 	}
 	cycles := sys.Run(1 << 62)
 	if !sys.AllExited() {
-		return 0, timecache.Stats{}, fmt.Errorf("workloads did not finish")
+		return 0, timecache.Stats{}, nil, fmt.Errorf("workloads did not finish")
 	}
-	return cycles, sys.Stats(), nil
+	if col != nil {
+		if err := col.Finish(); err != nil {
+			return 0, timecache.Stats{}, nil, err
+		}
+	}
+	return cycles, sys.Stats(), col, nil
 }
 
-func runCompare(workloads string, instrs uint64, llc, cores int, gate bool) error {
-	bCycles, _, err := runOnce(timecache.Baseline, workloads, instrs, llc, cores, gate)
+func runCompare(workloads string, instrs uint64, llc, cores int, gate bool, tcfg telemetry.Config, withTelemetry, showHist bool) error {
+	bCycles, _, _, err := runOnce(timecache.Baseline, workloads, instrs, llc, cores, gate, telemetry.Config{}, false)
 	if err != nil {
 		return err
 	}
-	tCycles, st, err := runOnce(timecache.TimeCache, workloads, instrs, llc, cores, gate)
+	tCycles, st, col, err := runOnce(timecache.TimeCache, workloads, instrs, llc, cores, gate, tcfg, withTelemetry)
 	if err != nil {
 		return err
 	}
 	printStats(timecache.TimeCache, tCycles, st)
+	reportTelemetry(col, showHist)
 	norm := float64(tCycles) / float64(bCycles)
 	fmt.Printf("\nbaseline cycles : %d\n", bCycles)
 	fmt.Printf("timecache cycles: %d\n", tCycles)
 	fmt.Printf("normalized time : %.4f (%.2f%% overhead, cold start included)\n",
 		norm, (norm-1)*100)
 	return nil
+}
+
+// reportTelemetry prints the interval-series sparklines, a one-line summary
+// of what was written, and (with -hist) the latency histograms.
+func reportTelemetry(col *telemetry.Collector, showHist bool) {
+	if col == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Print(col.Sampler().Render())
+	if showHist {
+		fmt.Println()
+		fmt.Print(col.Histograms().Render())
+	}
+	fmt.Printf("\ntelemetry: %d samples, %d accesses observed, %d trace events\n",
+		len(col.Sampler().Samples()), col.Histograms().Total(), col.Trace().Len())
 }
 
 func printStats(mode timecache.Mode, cycles uint64, st timecache.Stats) {

@@ -2,6 +2,7 @@ package timecache
 
 import (
 	"timecache/internal/harness"
+	"timecache/internal/telemetry"
 	"timecache/internal/workload"
 )
 
@@ -18,6 +19,9 @@ type ExperimentOptions struct {
 	// GateLevel runs the gate-level bit-serial comparator during context
 	// switches instead of the fast functional path.
 	GateLevel bool
+	// Telemetry, when non-nil, attaches a telemetry collector to every
+	// underlying run; output paths are suffixed per workload and mode.
+	Telemetry *telemetry.Config
 }
 
 func (o ExperimentOptions) harness() harness.Options {
@@ -26,6 +30,7 @@ func (o ExperimentOptions) harness() harness.Options {
 		WarmupInstrs:  o.WarmupInstrs,
 		LLCSize:       o.LLCSizeBytes,
 		GateLevel:     o.GateLevel,
+		Telemetry:     o.Telemetry,
 	}
 }
 

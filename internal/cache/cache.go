@@ -75,6 +75,34 @@ type Stats struct {
 	Invalidates uint64 // lines removed by coherence or clflush
 }
 
+// Delta returns the counter advance since an earlier snapshot, the quantity
+// interval samplers and warm-point measurements work with.
+func (s Stats) Delta(before Stats) Stats {
+	return Stats{
+		Accesses:    s.Accesses - before.Accesses,
+		Hits:        s.Hits - before.Hits,
+		Misses:      s.Misses - before.Misses,
+		FirstAccess: s.FirstAccess - before.FirstAccess,
+		Evictions:   s.Evictions - before.Evictions,
+		Writebacks:  s.Writebacks - before.Writebacks,
+		Invalidates: s.Invalidates - before.Invalidates,
+	}
+}
+
+// Add returns the element-wise sum of two counter sets (aggregating the
+// per-core private caches into one logical level).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Accesses:    s.Accesses + o.Accesses,
+		Hits:        s.Hits + o.Hits,
+		Misses:      s.Misses + o.Misses,
+		FirstAccess: s.FirstAccess + o.FirstAccess,
+		Evictions:   s.Evictions + o.Evictions,
+		Writebacks:  s.Writebacks + o.Writebacks,
+		Invalidates: s.Invalidates + o.Invalidates,
+	}
+}
+
 // Config describes one cache's geometry and timing.
 type Config struct {
 	Name       string

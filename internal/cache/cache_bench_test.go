@@ -1,6 +1,11 @@
 package cache
 
-import "testing"
+import (
+	"math/bits"
+	"testing"
+
+	"timecache/internal/clock"
+)
 
 // BenchmarkAccessL1Hit measures the simulator's hottest path: an L1 hit.
 func BenchmarkAccessL1Hit(b *testing.B) {
@@ -30,6 +35,51 @@ func BenchmarkAccessStreamMiss(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Access(uint64(i), 0, uint64(i)*LineSize, Load)
+	}
+}
+
+// histObserver mimics what a telemetry collector does per access (classify
+// plus a log2 histogram bump) without importing internal/telemetry, which
+// would be an import cycle from inside package cache.
+type histObserver struct {
+	count   uint64
+	sum     uint64
+	buckets [65]uint64
+}
+
+func (o *histObserver) ObserveAccess(now clock.Cycles, ctx int, addr uint64, kind Kind, res Result) {
+	o.count++
+	o.sum += res.Latency
+	o.buckets[bits.Len64(res.Latency)]++
+}
+
+// BenchmarkAccessTelemetryDisabled is the nil-probe baseline for the
+// telemetry hook: the L1-hit hot path with no observer installed must cost
+// only a single nil check over the seed's Access path. Compare against
+// BenchmarkAccessTelemetryEnabled; the disabled-path regression budget vs
+// the seed is <2%.
+func BenchmarkAccessTelemetryDisabled(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Access(0, 0, 0x1000, Load)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i), 0, 0x1000, Load)
+	}
+}
+
+// BenchmarkAccessTelemetryEnabled measures the same path with a
+// histogram-maintaining observer installed, documenting the enabled cost.
+func BenchmarkAccessTelemetryEnabled(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	obs := &histObserver{}
+	h.SetObserver(obs)
+	h.Access(0, 0, 0x1000, Load)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i), 0, 0x1000, Load)
+	}
+	if obs.count == 0 {
+		b.Fatal("observer never fired")
 	}
 }
 

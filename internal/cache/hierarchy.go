@@ -130,16 +130,28 @@ type Result struct {
 	Level int
 }
 
+// Observer receives one callback per completed memory access. It is the
+// hierarchy's telemetry hook: when no observer is installed the Access hot
+// path pays only a single nil check (see BenchmarkAccessTelemetryDisabled).
+// Implementations run synchronously inside Access and must be fast.
+type Observer interface {
+	ObserveAccess(now clock.Cycles, ctx int, addr uint64, kind Kind, res Result)
+}
+
 // Hierarchy is a multi-core cache hierarchy with a shared inclusive LLC.
 type Hierarchy struct {
 	cfg HierarchyConfig
 	l1i []*Cache // per core
 	l1d []*Cache // per core
 	llc *Cache
+	obs Observer
 	// activeDomain is each core's current security domain (partitioned
 	// mode); the OS updates it at context switches.
 	activeDomain []int
 }
+
+// SetObserver installs (or, with nil, removes) the access observer.
+func (h *Hierarchy) SetObserver(o Observer) { h.obs = o }
 
 // SetActiveDomain records the security domain of the process now running
 // on a core; cache partitioning confines its fills and lookups to that
@@ -273,6 +285,14 @@ func (h *Hierarchy) llcCtx(ctx int) int {
 // Access performs one memory access by global hardware context ctx at the
 // line containing addr, at simulation time now.
 func (h *Hierarchy) Access(now clock.Cycles, ctx int, addr uint64, kind Kind) Result {
+	res := h.access(now, ctx, addr, kind)
+	if h.obs != nil {
+		h.obs.ObserveAccess(now, ctx, addr, kind, res)
+	}
+	return res
+}
+
+func (h *Hierarchy) access(now clock.Cycles, ctx int, addr uint64, kind Kind) Result {
 	lineAddr := addr &^ (LineSize - 1)
 	corei := h.CoreOf(ctx)
 	l1 := h.l1d[corei]

@@ -5,12 +5,14 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"timecache/internal/cache"
 	"timecache/internal/core"
 	"timecache/internal/kernel"
 	"timecache/internal/mem"
 	"timecache/internal/stats"
+	"timecache/internal/telemetry"
 	"timecache/internal/workload"
 )
 
@@ -31,6 +33,42 @@ type Options struct {
 	GateLevel bool
 	// SliceCycles overrides the scheduler time slice.
 	SliceCycles uint64
+	// Telemetry, when non-nil, attaches a telemetry collector to every run;
+	// configured output paths are suffixed with the workload label and mode
+	// so one config fans out over a whole sweep.
+	Telemetry *telemetry.Config
+}
+
+// attachTelemetry attaches a collector for a run labeled label/mode, or
+// returns nil when telemetry is off.
+func (o Options) attachTelemetry(k *kernel.Kernel, label string, mode cache.SecMode) *telemetry.Collector {
+	if o.Telemetry == nil {
+		return nil
+	}
+	cfg := o.Telemetry.WithSuffix(sanitizeLabel(label) + "_" + mode.String())
+	col := telemetry.New(cfg).Attach(k)
+	col.SetMeta("workload", label)
+	col.SetMeta("mode", mode.String())
+	return col
+}
+
+// finishTelemetry writes a run's telemetry outputs (nil-safe).
+func finishTelemetry(col *telemetry.Collector) error {
+	if col == nil {
+		return nil
+	}
+	return col.Finish()
+}
+
+// sanitizeLabel makes a workload label safe as a filename fragment.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ' ', ':':
+			return '-'
+		}
+		return r
+	}, label)
 }
 
 // Defaults fills unset options.
@@ -48,45 +86,42 @@ func (o Options) withDefaults() Options {
 }
 
 // measurement is a counter snapshot delta between the warm point (when the
-// last process crosses its warmup budget) and the end of the run.
+// last process crosses its warmup budget) and the end of the run. It keeps
+// whole Stats structs per level; derived quantities (LLC MPKI inputs,
+// per-level first accesses) are read off the structs in result().
 type measurement struct {
-	cycles      uint64
-	instrs      uint64
-	llcMisses   uint64
-	faL1I       uint64
-	faL1D       uint64
-	faLLC       uint64
-	bookkeeping uint64
-	switches    uint64
+	cycles uint64
+	instrs uint64
+	l1i    cache.Stats // aggregated across cores
+	l1d    cache.Stats
+	llc    cache.Stats
+	kern   kernel.Stats
 }
 
 // snapCounters captures the counters measurement subtracts.
 func snapCounters(k *kernel.Kernel) measurement {
 	h := k.Hierarchy()
-	var m measurement
-	m.cycles = maxClock(k)
-	m.instrs = totalInstructions(k)
-	m.llcMisses = h.LLC().Stats.Misses + h.LLC().Stats.FirstAccess
-	for c := 0; c < h.Config().Cores; c++ {
-		m.faL1I += h.L1I(c).Stats.FirstAccess
-		m.faL1D += h.L1D(c).Stats.FirstAccess
+	m := measurement{
+		cycles: maxClock(k),
+		instrs: totalInstructions(k),
+		llc:    h.LLC().Stats,
+		kern:   k.Stats,
 	}
-	m.faLLC = h.LLC().Stats.FirstAccess
-	m.bookkeeping = k.Stats.BookkeepingCycles
-	m.switches = k.Stats.ContextSwitches
+	for c := 0; c < h.Config().Cores; c++ {
+		m.l1i = m.l1i.Add(h.L1I(c).Stats)
+		m.l1d = m.l1d.Add(h.L1D(c).Stats)
+	}
 	return m
 }
 
 func (m measurement) sub(start measurement) measurement {
 	return measurement{
-		cycles:      m.cycles - start.cycles,
-		instrs:      m.instrs - start.instrs,
-		llcMisses:   m.llcMisses - start.llcMisses,
-		faL1I:       m.faL1I - start.faL1I,
-		faL1D:       m.faL1D - start.faL1D,
-		faLLC:       m.faLLC - start.faLLC,
-		bookkeeping: m.bookkeeping - start.bookkeeping,
-		switches:    m.switches - start.switches,
+		cycles: m.cycles - start.cycles,
+		instrs: m.instrs - start.instrs,
+		l1i:    m.l1i.Delta(start.l1i),
+		l1d:    m.l1d.Delta(start.l1d),
+		llc:    m.llc.Delta(start.llc),
+		kern:   m.kern.Delta(start.kern),
 	}
 }
 
@@ -168,12 +203,16 @@ func runSpecPairOnce(pair workload.Pair, mode cache.SecMode, opts Options) (meas
 	}
 	procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
 	procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
+	col := opts.attachTelemetry(k, pair.Label, mode)
 	k.Run(1 << 62)
 	if !k.AllExited() {
 		return measurement{}, fmt.Errorf("harness: %s did not finish", pair.Label)
 	}
 	if warmed != 2 {
 		return measurement{}, fmt.Errorf("harness: %s never reached steady state", pair.Label)
+	}
+	if err := finishTelemetry(col); err != nil {
+		return measurement{}, err
 	}
 	return snapCounters(k).sub(warm), nil
 }
@@ -202,18 +241,18 @@ func result(label string, mb, mt measurement) PairResult {
 		Label:           label,
 		BaselineCycles:  mb.cycles,
 		TimeCacheCycles: mt.cycles,
-		MPKIBase:        stats.MPKI(mb.llcMisses, mb.instrs),
-		MPKITC:          stats.MPKI(mt.llcMisses, mt.instrs),
+		MPKIBase:        stats.MPKI(mb.llc.Misses+mb.llc.FirstAccess, mb.instrs),
+		MPKITC:          stats.MPKI(mt.llc.Misses+mt.llc.FirstAccess, mt.instrs),
 		FirstAccess: LevelMPKI{
-			L1I: stats.MPKI(mt.faL1I, mt.instrs),
-			L1D: stats.MPKI(mt.faL1D, mt.instrs),
-			LLC: stats.MPKI(mt.faLLC, mt.instrs),
+			L1I: stats.MPKI(mt.l1i.FirstAccess, mt.instrs),
+			L1D: stats.MPKI(mt.l1d.FirstAccess, mt.instrs),
+			LLC: stats.MPKI(mt.llc.FirstAccess, mt.instrs),
 		},
-		ContextSwitches: mt.switches,
+		ContextSwitches: mt.kern.ContextSwitches,
 	}
 	res.Normalized = stats.Normalized(res.TimeCacheCycles, res.BaselineCycles)
 	if res.TimeCacheCycles > 0 {
-		res.BookkeepingPct = float64(mt.bookkeeping) / float64(res.TimeCacheCycles) * 100
+		res.BookkeepingPct = float64(mt.kern.BookkeepingCycles) / float64(res.TimeCacheCycles) * 100
 	}
 	return res
 }
@@ -274,12 +313,16 @@ func runParsecOnce(name string, mode cache.SecMode, opts Options) (measurement, 
 			return measurement{}, err
 		}
 	}
+	col := opts.attachTelemetry(k, name, mode)
 	k.Run(1 << 62)
 	if !k.AllExited() {
 		return measurement{}, fmt.Errorf("harness: parsec %s did not finish", name)
 	}
 	if warmed != 2 {
 		return measurement{}, fmt.Errorf("harness: parsec %s never reached steady state", name)
+	}
+	if err := finishTelemetry(col); err != nil {
+		return measurement{}, err
 	}
 	return snapCounters(k).sub(warm), nil
 }

@@ -59,6 +59,43 @@ type Stats struct {
 	Migrations   uint64
 }
 
+// Delta returns the counter advance since an earlier snapshot.
+func (s Stats) Delta(before Stats) Stats {
+	return Stats{
+		ContextSwitches:   s.ContextSwitches - before.ContextSwitches,
+		BookkeepingCycles: s.BookkeepingCycles - before.BookkeepingCycles,
+		SwitchCycles:      s.SwitchCycles - before.SwitchCycles,
+		COWBreaks:         s.COWBreaks - before.COWBreaks,
+		Syscalls:          s.Syscalls - before.Syscalls,
+		DedupMerged:       s.DedupMerged - before.DedupMerged,
+		Migrations:        s.Migrations - before.Migrations,
+	}
+}
+
+// SwitchEvent describes one context switch for telemetry probes.
+type SwitchEvent struct {
+	Core            int
+	OutPID, InPID   int // zero when no process on that side
+	OutName, InName string
+	// Start and End bracket the whole switch on the core's clock.
+	Start, End uint64
+	// BookkeepStart and BookkeepEnd bracket the cycles charged for the
+	// TimeCache s-bit save/restore DMA inside the switch (equal when the
+	// hierarchy has no per-switch bookkeeping).
+	BookkeepStart, BookkeepEnd uint64
+}
+
+// Probe observes scheduler-level events. All callbacks run synchronously
+// inside the scheduler loop; when no probe is installed each hook costs a
+// single nil check. AfterStep fires after every Proc.Step, OnRunSpan when a
+// process is descheduled (one on-core occupancy span), and OnContextSwitch
+// once per charged context switch.
+type Probe interface {
+	AfterStep(core int, now uint64)
+	OnContextSwitch(ev SwitchEvent)
+	OnRunSpan(core, pid int, name string, start, end uint64)
+}
+
 // coreState is one schedulable hardware context's state: with SMT the
 // kernel sees every hardware thread as a logical CPU with its own run
 // queue and clock, while sibling threads share L1 caches in the hierarchy.
@@ -75,6 +112,8 @@ type coreState struct {
 	sliceEnd uint64
 	// sliceInstrs counts instructions in the current slice (debug/stats).
 	sliceInstrs uint64
+	// runStart is the clock when cur was scheduled in (telemetry spans).
+	runStart uint64
 }
 
 // Kernel owns the machine: physical memory, the cache hierarchy, cores, and
@@ -94,8 +133,13 @@ type Kernel struct {
 	// kernelText is the physical region syscalls touch.
 	kernelText []mem.Frame
 
+	probe Probe
+
 	Stats Stats
 }
+
+// SetProbe installs (or, with nil, removes) the scheduler telemetry probe.
+func (k *Kernel) SetProbe(p Probe) { k.probe = p }
 
 // New builds a kernel over the given hierarchy and physical memory. One
 // hardware context per core is scheduled (the hierarchy may expose more for
@@ -248,6 +292,7 @@ func (k *Kernel) contextSwitch(c *coreState, out, in *Process) {
 		k.hier.SetActiveDomain(k.hier.CoreOf(c.ctx), in.PID)
 	}
 
+	var bkStart, bkEnd uint64
 	secCaches := k.hier.SecCaches(c.ctx)
 	if len(secCaches) > 0 {
 		if out != nil {
@@ -274,12 +319,27 @@ func (k *Kernel) contextSwitch(c *coreState, out, in *Process) {
 			lineCounts = append(lineCounts, cc.Cache.Lines())
 		}
 		bk := k.cfg.Cost.SwitchCost(lineCounts)
+		bkStart = c.clock.Now()
 		c.clock.Advance(bk)
+		bkEnd = c.clock.Now()
 		k.Stats.BookkeepingCycles += bk
 	}
 	k.Stats.SwitchCycles += c.clock.Now() - start
 	if in != nil {
 		in.Stats.Switches++
+	}
+	if k.probe != nil {
+		ev := SwitchEvent{
+			Core: c.id, Start: start, End: c.clock.Now(),
+			BookkeepStart: bkStart, BookkeepEnd: bkEnd,
+		}
+		if out != nil {
+			ev.OutPID, ev.OutName = out.PID, out.Name
+		}
+		if in != nil {
+			ev.InPID, ev.InName = in.PID, in.Name
+		}
+		k.probe.OnContextSwitch(ev)
 	}
 }
 
@@ -319,6 +379,7 @@ func (k *Kernel) schedule(c *coreState) bool {
 	c.prev = nil
 	c.cur = next
 	next.State = Running
+	c.runStart = c.clock.Now()
 	c.sliceEnd = c.clock.Now() + k.cfg.SliceCycles
 	c.sliceInstrs = 0
 	return true
@@ -354,27 +415,40 @@ func (k *Kernel) stepCurrent(c *coreState) {
 		return p.Proc.Step(env)
 	}()
 	p.Stats.CPUCycles += c.clock.Now() - before
+	if k.probe != nil {
+		k.probe.AfterStep(c.id, c.clock.Now())
+	}
 
 	if !alive || p.State == Exited {
 		if p.State != Exited {
 			p.State = Exited
 		}
 		p.Stats.FinishedAt = c.clock.Now()
+		k.endRunSpan(c, p)
 		// An exited process's caching context need not be saved; the next
 		// restore clears its hardware s-bits.
 		c.cur, c.prev = nil, nil
 		return
 	}
 	if p.State == Sleeping {
+		k.endRunSpan(c, p)
 		c.cur, c.prev = nil, p
 		return
 	}
 	if c.clock.Now() >= c.sliceEnd {
 		// Preempt: back of the queue. If nothing else is runnable the
 		// scheduler will immediately re-pick it without a switch charge.
+		k.endRunSpan(c, p)
 		p.State = Ready
 		c.runq = append(c.runq, p)
 		c.cur, c.prev = nil, p
+	}
+}
+
+// endRunSpan reports the on-core occupancy span ending now for p.
+func (k *Kernel) endRunSpan(c *coreState, p *Process) {
+	if k.probe != nil {
+		k.probe.OnRunSpan(c.id, p.PID, p.Name, c.runStart, c.clock.Now())
 	}
 }
 

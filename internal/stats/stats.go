@@ -118,14 +118,31 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// csvQuote escapes one CSV field per RFC 4180: fields containing commas,
+// double quotes, or line breaks are wrapped in double quotes with embedded
+// quotes doubled; anything else passes through unchanged.
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// CSV renders the table as RFC-4180 comma-separated values.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
-	for _, r := range t.Rows {
-		b.WriteString(strings.Join(r, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvQuote(c))
+		}
 		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -72,6 +73,29 @@ func TestTableRendering(t *testing.T) {
 	csv := tb.CSV()
 	if !strings.HasPrefix(csv, "workload,overhead\n") {
 		t.Fatalf("csv header wrong: %q", csv)
+	}
+}
+
+// Regression: cells containing commas, quotes, or newlines must be quoted
+// per RFC 4180 or the file is corrupt (extra columns, broken rows).
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("name", "note")
+	tb.Add("a,b", `say "hi"`)
+	tb.Add("line\nbreak", "plain")
+	got := tb.CSV()
+	want := "name,note\n" +
+		`"a,b","say ""hi"""` + "\n" +
+		"\"line\nbreak\",plain\n"
+	if got != want {
+		t.Fatalf("CSV quoting wrong:\ngot  %q\nwant %q", got, want)
+	}
+	// The encoding must round-trip through a standard CSV parser.
+	recs, err := csv.NewReader(strings.NewReader(got)).ReadAll()
+	if err != nil {
+		t.Fatalf("stdlib csv cannot parse output: %v", err)
+	}
+	if len(recs) != 3 || recs[1][0] != "a,b" || recs[1][1] != `say "hi"` || recs[2][0] != "line\nbreak" {
+		t.Fatalf("round-trip mismatch: %q", recs)
 	}
 }
 

@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"timecache/internal/cache"
+	"timecache/internal/stats"
+)
+
+// Histogram is a log2-bucketed latency histogram. Bucket 0 counts the value
+// 0; bucket i (i >= 1) counts values in [2^(i-1), 2^i - 1]. Cycle latencies
+// in the simulator span from 2 (L1 hit) to a few hundred (DRAM plus
+// first-access descent), so the populated range is narrow and the bimodal
+// "first access looks like a miss" signature shows as two separated modes.
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets [65]uint64
+}
+
+// BucketOf returns the bucket index for a value.
+func BucketOf(v uint64) int { return bits.Len64(v) }
+
+// BucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[BucketOf(v)]++
+}
+
+// Mean returns the arithmetic mean of observed values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound on the q-th quantile (q in [0,1]),
+// resolved to bucket granularity.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target >= h.Count {
+		target = h.Count - 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if n > 0 && seen > target {
+			_, hi := BucketBounds(i)
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// AccessClass partitions accesses by how the hierarchy serviced them.
+type AccessClass int
+
+// Access classes.
+const (
+	ClassHit         AccessClass = iota // served from a visible resident line
+	ClassMiss                           // tag miss, filled from below
+	ClassFirstAccess                    // resident but delayed (s-bit clear)
+	classCount
+)
+
+func (c AccessClass) String() string {
+	switch c {
+	case ClassHit:
+		return "hit"
+	case ClassMiss:
+		return "miss"
+	case ClassFirstAccess:
+		return "first-access"
+	default:
+		return fmt.Sprintf("AccessClass(%d)", int(c))
+	}
+}
+
+// Classify maps an access result to its class.
+func Classify(res cache.Result) AccessClass {
+	switch {
+	case res.FirstAccess:
+		return ClassFirstAccess
+	case res.Hit:
+		return ClassHit
+	default:
+		return ClassMiss
+	}
+}
+
+// maxLevel is the deepest service level a Result reports (1 = L1, 2 = LLC,
+// 3 = memory / remote forward).
+const maxLevel = 3
+
+// LatencyHistograms keys one Histogram per (service level, access class),
+// plus per access kind (fetch/load/store) totals.
+type LatencyHistograms struct {
+	ByLevelClass [maxLevel + 1][classCount]Histogram
+	ByKind       [3]Histogram // indexed by cache.Kind
+}
+
+// Observe records one access result.
+func (l *LatencyHistograms) Observe(kind cache.Kind, res cache.Result) {
+	lvl := res.Level
+	if lvl < 0 || lvl > maxLevel {
+		lvl = 0
+	}
+	l.ByLevelClass[lvl][Classify(res)].Observe(res.Latency)
+	if k := int(kind); k >= 0 && k < len(l.ByKind) {
+		l.ByKind[k].Observe(res.Latency)
+	}
+}
+
+// Total returns the number of observed accesses.
+func (l *LatencyHistograms) Total() uint64 {
+	var n uint64
+	for lvl := range l.ByLevelClass {
+		for cls := range l.ByLevelClass[lvl] {
+			n += l.ByLevelClass[lvl][cls].Count
+		}
+	}
+	return n
+}
+
+func levelName(lvl int) string {
+	switch lvl {
+	case 1:
+		return "L1"
+	case 2:
+		return "LLC"
+	case 3:
+		return "mem"
+	default:
+		return fmt.Sprintf("level%d", lvl)
+	}
+}
+
+// Render returns a terminal rendering: one bar chart per populated
+// (level, class) histogram over its populated bucket range.
+func (l *LatencyHistograms) Render() string {
+	var sb strings.Builder
+	sb.WriteString("latency histograms (log2 cycle buckets)\n")
+	for lvl := 1; lvl <= maxLevel; lvl++ {
+		for cls := AccessClass(0); cls < classCount; cls++ {
+			h := &l.ByLevelClass[lvl][cls]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "\n%s/%s: n=%d mean=%.1f p50<=%d p99<=%d max=%d\n",
+				levelName(lvl), cls, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max)
+			lo, hi := BucketOf(h.Min), BucketOf(h.Max)
+			for i := lo; i <= hi; i++ {
+				bLo, bHi := BucketBounds(i)
+				bar := barOf(h.Buckets[i], h.Count, 40)
+				fmt.Fprintf(&sb, "  [%4d,%4d] %-40s %d\n", bLo, bHi, bar, h.Buckets[i])
+			}
+		}
+	}
+	return sb.String()
+}
+
+func barOf(n, total uint64, width int) string {
+	if total == 0 || n == 0 {
+		return ""
+	}
+	w := int(float64(n) / float64(total) * float64(width))
+	if w == 0 {
+		w = 1
+	}
+	return strings.Repeat("#", w)
+}
+
+// Table renders every populated (level, class) histogram as CSV-ready rows.
+func (l *LatencyHistograms) Table() *stats.Table {
+	tb := stats.NewTable("level", "class", "bucket_lo", "bucket_hi", "count")
+	for lvl := 1; lvl <= maxLevel; lvl++ {
+		for cls := AccessClass(0); cls < classCount; cls++ {
+			h := &l.ByLevelClass[lvl][cls]
+			if h.Count == 0 {
+				continue
+			}
+			for i, n := range h.Buckets {
+				if n == 0 {
+					continue
+				}
+				lo, hi := BucketBounds(i)
+				tb.Add(levelName(lvl), cls.String(), lo, hi, n)
+			}
+		}
+	}
+	return tb
+}

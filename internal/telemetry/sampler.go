@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"timecache/internal/cache"
+	"timecache/internal/kernel"
+	"timecache/internal/stats"
+	"timecache/internal/textplot"
+)
+
+// ProcSample is one process's share of an interval.
+type ProcSample struct {
+	PID    int
+	Name   string
+	Instrs uint64 // instructions retired in the interval
+	Cycles uint64 // CPU cycles consumed in the interval
+	IPC    float64
+}
+
+// Sample is one interval of the time series the sampler emits: counter
+// deltas between two snapshots, reduced to the rates the paper's figures
+// are built from.
+type Sample struct {
+	Index    int
+	EndCycle uint64 // max core clock at the end of the interval
+	Instrs   uint64 // instructions retired machine-wide in the interval
+	Cycles   uint64 // wall (max-clock) cycles elapsed in the interval
+
+	IPC             float64 // Instrs / Cycles
+	LLCMPKI         float64 // LLC misses + first accesses per kilo-instruction
+	FirstAccessMPKI float64 // first accesses (all levels) per kilo-instruction
+	L1HitRate       float64 // visible L1 hits / L1 accesses
+	LLCHitRate      float64 // visible LLC hits / LLC accesses
+	FirstAccessRate float64 // first accesses / L1 accesses
+	Switches        uint64  // context switches in the interval
+
+	PerProc []ProcSample
+}
+
+// snapshot is the raw counter state a Sample is the delta of.
+type snapshot struct {
+	cycle   uint64
+	l1      cache.Stats // all private L1I+L1D, aggregated
+	llc     cache.Stats
+	kern    kernel.Stats
+	fa      uint64 // first accesses across all levels
+	perProc map[int]procSnap
+}
+
+type procSnap struct {
+	name           string
+	instrs, cycles uint64
+}
+
+// Sampler turns periodic counter snapshots into a time series. It is driven
+// by the kernel Probe's AfterStep hook: every Every steps (a step retires
+// one bounded unit of work, approximately one instruction) it snapshots the
+// machine counters and appends the delta as a Sample.
+type Sampler struct {
+	every   uint64
+	k       *kernel.Kernel
+	steps   uint64
+	prev    snapshot
+	samples []Sample
+}
+
+// DefaultSampleEvery is the default sampling period in instruction steps.
+const DefaultSampleEvery = 10_000
+
+// NewSampler creates a sampler over k taking a sample every `every` steps
+// (DefaultSampleEvery when zero).
+func NewSampler(k *kernel.Kernel, every uint64) *Sampler {
+	if every == 0 {
+		every = DefaultSampleEvery
+	}
+	s := &Sampler{every: every, k: k}
+	s.prev = s.snap()
+	return s
+}
+
+func (s *Sampler) snap() snapshot {
+	h := s.k.Hierarchy()
+	sn := snapshot{kern: s.k.Stats, perProc: make(map[int]procSnap)}
+	for c := 0; c < h.Config().Cores; c++ {
+		sn.l1 = sn.l1.Add(h.L1I(c).Stats).Add(h.L1D(c).Stats)
+		if t := s.k.CoreClock(c); t > sn.cycle {
+			sn.cycle = t
+		}
+	}
+	sn.llc = h.LLC().Stats
+	sn.fa = sn.l1.FirstAccess + sn.llc.FirstAccess
+	for _, p := range s.k.Processes() {
+		sn.perProc[p.PID] = procSnap{name: p.Name, instrs: p.Stats.Instructions, cycles: p.Stats.CPUCycles}
+	}
+	return sn
+}
+
+// AfterStep advances the step counter and samples when the period elapses.
+func (s *Sampler) AfterStep() {
+	s.steps++
+	if s.steps >= s.every {
+		s.steps = 0
+		s.take()
+	}
+}
+
+// Flush appends a final partial sample if any steps elapsed since the last
+// one. Call once after the run completes.
+func (s *Sampler) Flush() {
+	if s.steps > 0 {
+		s.steps = 0
+		s.take()
+	}
+}
+
+func (s *Sampler) take() {
+	cur := s.snap()
+	prev := s.prev
+	s.prev = cur
+
+	l1 := cur.l1.Delta(prev.l1)
+	llc := cur.llc.Delta(prev.llc)
+	kern := cur.kern.Delta(prev.kern)
+
+	var instrs uint64
+	var perProc []ProcSample
+	for _, p := range s.k.Processes() {
+		c := cur.perProc[p.PID]
+		b := prev.perProc[p.PID] // zero value for processes spawned mid-interval
+		di, dc := c.instrs-b.instrs, c.cycles-b.cycles
+		instrs += di
+		if di == 0 && dc == 0 {
+			continue
+		}
+		ps := ProcSample{PID: p.PID, Name: c.name, Instrs: di, Cycles: dc}
+		if dc > 0 {
+			ps.IPC = float64(di) / float64(dc)
+		}
+		perProc = append(perProc, ps)
+	}
+
+	sm := Sample{
+		Index:           len(s.samples),
+		EndCycle:        cur.cycle,
+		Instrs:          instrs,
+		Cycles:          cur.cycle - prev.cycle,
+		LLCMPKI:         stats.MPKI(llc.Misses+llc.FirstAccess, instrs),
+		FirstAccessMPKI: stats.MPKI(cur.fa-prev.fa, instrs),
+		Switches:        kern.ContextSwitches,
+		PerProc:         perProc,
+	}
+	if sm.Cycles > 0 {
+		sm.IPC = float64(instrs) / float64(sm.Cycles)
+	}
+	if l1.Accesses > 0 {
+		sm.L1HitRate = float64(l1.Hits) / float64(l1.Accesses)
+		sm.FirstAccessRate = float64(cur.fa-prev.fa) / float64(l1.Accesses)
+	}
+	if llc.Accesses > 0 {
+		sm.LLCHitRate = float64(llc.Hits) / float64(llc.Accesses)
+	}
+	s.samples = append(s.samples, sm)
+}
+
+// Samples returns the series collected so far.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// Table renders the series as a table (one row per interval), with one
+// trailing IPC column per process observed anywhere in the run.
+func (s *Sampler) Table() *stats.Table {
+	// Union of processes across all samples, in PID order of appearance.
+	var procIDs []int
+	procNames := map[int]string{}
+	for _, sm := range s.samples {
+		for _, p := range sm.PerProc {
+			if _, ok := procNames[p.PID]; !ok {
+				procNames[p.PID] = p.Name
+				procIDs = append(procIDs, p.PID)
+			}
+		}
+	}
+	header := []string{
+		"sample", "end_cycle", "instrs", "cycles", "ipc",
+		"llc_mpki", "first_access_mpki", "l1_hit_rate", "llc_hit_rate",
+		"first_access_rate", "switches",
+	}
+	for _, pid := range procIDs {
+		header = append(header, fmt.Sprintf("ipc_pid%d_%s", pid, procNames[pid]))
+	}
+	tb := stats.NewTable(header...)
+	for _, sm := range s.samples {
+		row := []any{
+			sm.Index, sm.EndCycle, sm.Instrs, sm.Cycles, sm.IPC,
+			sm.LLCMPKI, sm.FirstAccessMPKI, sm.L1HitRate, sm.LLCHitRate,
+			sm.FirstAccessRate, sm.Switches,
+		}
+		byPID := map[int]float64{}
+		for _, p := range sm.PerProc {
+			byPID[p.PID] = p.IPC
+		}
+		for _, pid := range procIDs {
+			row = append(row, byPID[pid])
+		}
+		tb.Add(row...)
+	}
+	return tb
+}
+
+// CSV renders the series as RFC-4180 CSV.
+func (s *Sampler) CSV() string { return s.Table().CSV() }
+
+// Render returns terminal sparklines of the headline series.
+func (s *Sampler) Render() string {
+	ipc := make([]float64, len(s.samples))
+	mpki := make([]float64, len(s.samples))
+	fam := make([]float64, len(s.samples))
+	hit := make([]float64, len(s.samples))
+	for i, sm := range s.samples {
+		ipc[i] = sm.IPC
+		mpki[i] = sm.LLCMPKI
+		fam[i] = sm.FirstAccessMPKI
+		hit[i] = sm.L1HitRate
+	}
+	ts := textplot.TimeSeries{Title: fmt.Sprintf("interval metrics (%d samples of ~%d instrs)", len(s.samples), s.every)}
+	ts.Add("IPC", ipc)
+	ts.Add("LLC MPKI", mpki)
+	ts.Add("first-access MPKI", fam)
+	ts.Add("L1 hit rate", hit)
+	return ts.String()
+}

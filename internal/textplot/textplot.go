@@ -71,6 +71,109 @@ func (c *Chart) String() string {
 	return sb.String()
 }
 
+// sparkLevels are the block characters Sparkline quantizes into.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block-character sparkline scaled to
+// [min, max] of the data. Width 0 keeps one character per value; otherwise
+// the series is resampled to the given width by bucket-averaging.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width > 0 && len(values) > width {
+		resampled := make([]float64, width)
+		for i := range resampled {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sum := 0.0
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			resampled[i] = sum / float64(hi-lo)
+		}
+		values = resampled
+	}
+	minV, maxV := values[0], values[0]
+	for _, v := range values[1:] {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		lvl := 0
+		if maxV > minV {
+			lvl = int((v - minV) / (maxV - minV) * float64(len(sparkLevels)-1))
+		}
+		sb.WriteRune(sparkLevels[lvl])
+	}
+	return sb.String()
+}
+
+// TimeSeries renders labeled sparklines with min/max/last annotations, the
+// terminal rendering of the telemetry interval sampler's series.
+type TimeSeries struct {
+	Title string
+	Rows  []SeriesRow
+	// Width is the sparkline width in characters (default 60).
+	Width int
+	// Format renders the annotated numbers (default "%.3g").
+	Format string
+}
+
+// SeriesRow is one labeled series.
+type SeriesRow struct {
+	Label  string
+	Values []float64
+}
+
+// Add appends a series.
+func (t *TimeSeries) Add(label string, values []float64) {
+	t.Rows = append(t.Rows, SeriesRow{Label: label, Values: values})
+}
+
+// String renders the series chart.
+func (t *TimeSeries) String() string {
+	width := t.Width
+	if width <= 0 {
+		width = 60
+	}
+	format := t.Format
+	if format == "" {
+		format = "%.3g"
+	}
+	labelW := 0
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		if len(r.Values) == 0 {
+			fmt.Fprintf(&sb, "%-*s | (no samples)\n", labelW, r.Label)
+			continue
+		}
+		minV, maxV := r.Values[0], r.Values[0]
+		for _, v := range r.Values[1:] {
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+		fmt.Fprintf(&sb, "%-*s | %s  min="+format+" max="+format+" last="+format+"\n",
+			labelW, r.Label, Sparkline(r.Values, width), minV, maxV, r.Values[len(r.Values)-1])
+	}
+	return sb.String()
+}
+
 // Grouped renders series of values per label as consecutive rows (used for
 // the per-level MPKI figures).
 type Grouped struct {

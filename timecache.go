@@ -27,6 +27,7 @@ import (
 	"timecache/internal/cache"
 	"timecache/internal/kernel"
 	"timecache/internal/mem"
+	"timecache/internal/telemetry"
 	"timecache/internal/vm"
 	"timecache/internal/workload"
 )
@@ -271,6 +272,14 @@ func (s *System) SpawnParsecPair(name string, instrs uint64) ([]*Process, error)
 		out = append(out, &Process{p: p})
 	}
 	return out, nil
+}
+
+// AttachTelemetry installs a telemetry collector (interval sampler, latency
+// histograms, Chrome-trace exporter, run manifest) on the machine. Attach
+// before Run; call Finish on the returned collector after the run to write
+// the configured outputs. See internal/telemetry for the Config fields.
+func (s *System) AttachTelemetry(cfg telemetry.Config) *telemetry.Collector {
+	return telemetry.New(cfg).Attach(s.k)
 }
 
 // Run advances the machine until every process exits or maxCycles elapses
