@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"timecache"
 	"timecache/internal/stats"
@@ -32,6 +34,10 @@ func main() {
 		only   = flag.String("only", "", "run a single experiment")
 		instrs = flag.Uint64("instrs", 0, "override measured instructions per process")
 		warmup = flag.Uint64("warmup", 0, "override warmup instructions per process")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation runs (-j1 = sequential); output is byte-identical at any -j")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
 
 		withTelemetry = flag.Bool("telemetry", false, "attach telemetry to every run: interval metrics + run manifests next to the CSVs in -out")
 		metricsOut    = flag.String("metrics-out", "", "interval-metrics CSV base path (suffixed per workload/mode)")
@@ -40,6 +46,30 @@ func main() {
 		sampleEvery   = flag.Uint64("sample-every", 0, "interval sampler period in instructions (default 10000)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opts := timecache.ExperimentOptions{InstrsPerProc: 300_000, WarmupInstrs: 250_000}
 	if *quick {
@@ -51,6 +81,7 @@ func main() {
 	if *warmup != 0 {
 		opts.WarmupInstrs = *warmup
 	}
+	opts.Jobs = *jobs
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

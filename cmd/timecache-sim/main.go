@@ -7,6 +7,7 @@
 //	timecache-sim -mode timecache -workloads lbm,wrf -instrs 300000
 //	timecache-sim -mode baseline  -workloads 2Xperlbench
 //	timecache-sim -compare -workloads 2Xlbm   # run baseline AND timecache
+//	timecache-sim -llc-sweep 512K,1M,2M,4M -workloads 2Xlbm -j4
 //
 // Telemetry outputs (any may be combined; see internal/telemetry):
 //
@@ -21,9 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"timecache"
+	"timecache/internal/runner"
 	"timecache/internal/stats"
 	"timecache/internal/telemetry"
 )
@@ -34,9 +39,14 @@ func main() {
 		workloads = flag.String("workloads", "2Xlbm", "comma-separated SPEC profile names, or 2X<name> for a pair")
 		instrs    = flag.Uint64("instrs", 300_000, "instructions per process")
 		llc       = flag.Int("llc", 2<<20, "LLC size in bytes")
+		llcSweep  = flag.String("llc-sweep", "", "comma-separated LLC sizes (e.g. 512K,1M,2M,4M): run baseline+timecache at each size and report normalized time")
 		cores     = flag.Int("cores", 1, "number of cores")
 		compare   = flag.Bool("compare", false, "run baseline and timecache and report normalized time")
 		gate      = flag.Bool("gatelevel", false, "use the gate-level bit-serial comparator")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent runs in the -llc-sweep path (-j1 = sequential)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
 
 		metricsOut  = flag.String("metrics-out", "", "write interval-metrics CSV to this path")
 		histOut     = flag.String("hist-out", "", "write latency-histogram CSV to this path")
@@ -48,6 +58,30 @@ func main() {
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	tcfg := telemetry.Config{
 		SampleEvery:   *sampleEvery,
 		TraceAccesses: *traceAcc,
@@ -58,6 +92,12 @@ func main() {
 	}
 	telemetryOn := tcfg != (telemetry.Config{}) || *showHist
 
+	if *llcSweep != "" {
+		if err := runLLCSweep(*llcSweep, *workloads, *instrs, *cores, *gate, *jobs); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *compare {
 		if err := runCompare(*workloads, *instrs, *llc, *cores, *gate, tcfg, telemetryOn, *showHist); err != nil {
 			fatal(err)
@@ -139,6 +179,78 @@ func runOnce(mode timecache.Mode, workloads string, instrs uint64, llc, cores in
 		}
 	}
 	return cycles, sys.Stats(), col, nil
+}
+
+// parseSize parses a byte size with an optional K/KB/M/MB/G/GB suffix.
+func parseSize(s string) (int, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	for _, suf := range []struct {
+		text string
+		mult int
+	}{{"KB", 1 << 10}, {"K", 1 << 10}, {"MB", 1 << 20}, {"M", 1 << 20}, {"GB", 1 << 30}, {"G", 1 << 30}} {
+		if strings.HasSuffix(t, suf.text) {
+			t = strings.TrimSuffix(t, suf.text)
+			mult = suf.mult
+			break
+		}
+	}
+	n, err := strconv.Atoi(t)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// runLLCSweep runs baseline and timecache legs of the given workload mix at
+// each LLC size, fanning the independent runs out across -j workers. Every
+// run builds its own machine, so the table is byte-identical at any -j.
+func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate bool, jobs int) error {
+	var sizes []int
+	for _, f := range strings.Split(sweep, ",") {
+		if strings.TrimSpace(f) == "" {
+			continue
+		}
+		n, err := parseSize(f)
+		if err != nil {
+			return err
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("llc-sweep: no sizes given")
+	}
+	// One job per (size, mode) leg; leg order is fixed so results regroup
+	// deterministically.
+	modes := []timecache.Mode{timecache.Baseline, timecache.TimeCache}
+	cycles, err := runner.Map(len(sizes)*len(modes), runner.Options{Workers: jobs}, func(i int) (uint64, error) {
+		size, mode := sizes[i/len(modes)], modes[i%len(modes)]
+		c, _, _, err := runOnce(mode, workloads, instrs, size, cores, gate, telemetry.Config{}, false)
+		return c, err
+	})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("llc", "baseline-cycles", "timecache-cycles", "normalized", "overhead-pct")
+	for si, size := range sizes {
+		b, t := cycles[si*len(modes)], cycles[si*len(modes)+1]
+		norm := float64(t) / float64(b)
+		tb.Add(sizeLabel(size), b, t, norm, (norm-1)*100)
+	}
+	fmt.Printf("LLC sweep (%s, %d instrs/proc, cold start included):\n", workloads, instrs)
+	fmt.Print(tb.String())
+	return nil
 }
 
 func runCompare(workloads string, instrs uint64, llc, cores int, gate bool, tcfg telemetry.Config, withTelemetry, showHist bool) error {

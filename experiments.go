@@ -22,6 +22,15 @@ type ExperimentOptions struct {
 	// Telemetry, when non-nil, attaches a telemetry collector to every
 	// underlying run; output paths are suffixed per workload and mode.
 	Telemetry *telemetry.Config
+	// Jobs is the number of independent simulation runs executed
+	// concurrently by the sweep reproductions. Each run constructs its own
+	// machine, so results (and therefore CSV/markdown output) are
+	// byte-identical to a sequential run at any job count. Zero or negative
+	// uses runtime.GOMAXPROCS(0); 1 runs sequentially.
+	Jobs int
+	// Progress, when non-nil, receives (done, total) after each completed
+	// run of a sweep. Calls are serialized.
+	Progress func(done, total int)
 }
 
 func (o ExperimentOptions) harness() harness.Options {
@@ -31,6 +40,8 @@ func (o ExperimentOptions) harness() harness.Options {
 		LLCSize:       o.LLCSizeBytes,
 		GateLevel:     o.GateLevel,
 		Telemetry:     o.Telemetry,
+		Jobs:          o.Jobs,
+		Progress:      o.Progress,
 	}
 }
 

@@ -148,11 +148,27 @@ func (s *ShiftRegister) Shift() bool {
 // constant time, which is what keeps the context-switch update itself from
 // becoming a timing channel.
 func (a *Array) CompareGT(ts uint64) []uint64 {
+	return a.CompareGTInto(ts, make([]uint64, (a.lines+63)/64))
+}
+
+// CompareGTInto is CompareGT writing the packed result into dst, which must
+// have (Lines()+63)/64 words. It performs no allocation, so a caller that
+// compares on every context switch can reuse one buffer. Returns dst.
+func (a *Array) CompareGTInto(ts uint64, dst []uint64) []uint64 {
+	if want := (a.lines + 63) / 64; len(dst) != want {
+		panic(fmt.Sprintf("bitserial: result buffer has %d words, want %d", len(dst), want))
+	}
 	for i := range a.gt {
 		a.gt[i].Reset()
 		a.stop[i].Reset()
 	}
-	sr := NewShiftRegister(ts, a.bits)
+	// A stack-allocated register: the constructor's pointer return would
+	// escape to the heap, and this path must stay allocation-free.
+	mask := ^uint64(0)
+	if a.bits < 64 {
+		mask = (1 << a.bits) - 1
+	}
+	sr := ShiftRegister{bits: a.bits, v: ts & mask}
 	for i := uint(0); i < a.bits; i++ {
 		tsBit := sr.Shift()
 		plane := a.planes[i]
@@ -163,13 +179,15 @@ func (a *Array) CompareGT(ts uint64) []uint64 {
 			a.stop[line].Apply(tsBit && !tcBit && !decided, false)
 		}
 	}
-	out := make([]uint64, (a.lines+63)/64)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for line := 0; line < a.lines; line++ {
 		if a.gt[line].Q() {
-			out[line/64] |= 1 << uint(line%64)
+			dst[line/64] |= 1 << uint(line%64)
 		}
 	}
-	return out
+	return dst
 }
 
 // Iterations returns the number of bit-serial steps a comparison takes; it
@@ -187,16 +205,27 @@ func (a *Array) check(line int) {
 // It exists so property tests can verify the gate-level model, and as the
 // fast path used by the simulator when gate-level fidelity is not requested.
 func ReferenceGT(tcs []uint64, ts uint64, bits uint) []uint64 {
+	return ReferenceGTInto(tcs, ts, bits, make([]uint64, (len(tcs)+63)/64))
+}
+
+// ReferenceGTInto is ReferenceGT writing the packed result into dst, which
+// must have (len(tcs)+63)/64 words; no allocation. Returns dst.
+func ReferenceGTInto(tcs []uint64, ts uint64, bits uint, dst []uint64) []uint64 {
+	if want := (len(tcs) + 63) / 64; len(dst) != want {
+		panic(fmt.Sprintf("bitserial: result buffer has %d words, want %d", len(dst), want))
+	}
 	mask := ^uint64(0)
 	if bits < 64 {
 		mask = (1 << bits) - 1
 	}
 	ts &= mask
-	out := make([]uint64, (len(tcs)+63)/64)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i, tc := range tcs {
 		if tc&mask > ts {
-			out[i/64] |= 1 << uint(i%64)
+			dst[i/64] |= 1 << uint(i%64)
 		}
 	}
-	return out
+	return dst
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"timecache/internal/clock"
+	"timecache/internal/core"
 )
 
 // BenchmarkAccessL1Hit measures the simulator's hottest path: an L1 hit.
@@ -84,7 +85,8 @@ func BenchmarkAccessTelemetryEnabled(b *testing.B) {
 }
 
 // BenchmarkContextSwitchRestore measures the kernel-visible cost of a full
-// s-bit save+restore over the paper's cache sizes (32K L1s + 2MB LLC).
+// s-bit save+restore over the paper's cache sizes (32K L1s + 2MB LLC),
+// allocating a fresh SecVec per column as the seed's kernel did.
 func BenchmarkContextSwitchRestore(b *testing.B) {
 	cfg := DefaultHierarchyConfig()
 	cfg.Mode = SecTimeCache
@@ -92,6 +94,7 @@ func BenchmarkContextSwitchRestore(b *testing.B) {
 	for i := 0; i < 4096; i++ {
 		h.Access(uint64(i), 0, uint64(i)*LineSize, Load)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, cc := range h.SecCaches(0) {
@@ -99,4 +102,37 @@ func BenchmarkContextSwitchRestore(b *testing.B) {
 			cc.Cache.Sec().RestoreColumn(cc.LocalCtx, v, uint64(i), uint64(i)+1)
 		}
 	}
+}
+
+// BenchmarkSaveRestoreColumn is the same switch over the full hierarchy but
+// with the kernel's per-(process, cache) buffer reuse: SaveColumnInto plus
+// RestoreColumn must run at 0 allocs/op (see also the tracker-level
+// variants in internal/core).
+func BenchmarkSaveRestoreColumn(b *testing.B) {
+	run := func(b *testing.B, gate bool, maxSharers int) {
+		cfg := DefaultHierarchyConfig()
+		cfg.Mode = SecTimeCache
+		cfg.Sec.GateLevel = gate
+		cfg.Sec.MaxSharers = maxSharers
+		h := NewHierarchy(cfg)
+		for i := 0; i < 4096; i++ {
+			h.Access(uint64(i), 0, uint64(i)*LineSize, Load)
+		}
+		secCaches := h.SecCaches(0)
+		bufs := make([]core.SecVec, len(secCaches))
+		for i, cc := range secCaches {
+			bufs[i] = make(core.SecVec, core.VecWords(cc.Cache.Lines()))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, cc := range secCaches {
+				cc.Cache.Sec().SaveColumnInto(cc.LocalCtx, bufs[j])
+				cc.Cache.Sec().RestoreColumn(cc.LocalCtx, bufs[j], uint64(i), uint64(i)+1)
+			}
+		}
+	}
+	b.Run("secarray", func(b *testing.B) { run(b, false, 0) })
+	b.Run("secarray-gatelevel", func(b *testing.B) { run(b, true, 0) })
+	b.Run("limited", func(b *testing.B) { run(b, false, 1) })
 }

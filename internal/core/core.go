@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"timecache/internal/bitserial"
 	"timecache/internal/clock"
@@ -54,18 +55,34 @@ func (v SecVec) Bit(line int) bool {
 
 // SecArray holds the TimeCache hardware state for one cache: the per-line,
 // per-context s-bits and the per-line fill timestamps.
+//
+// The s-bits are stored column-major: one packed bit vector per hardware
+// context (64 lines per word), mirroring the SecVec layout software saves
+// and restores. Column operations — the per-context-switch hot path — are
+// therefore plain word operations over already-packed vectors: SaveColumn
+// is a copy, ClearColumn a memclr, and RestoreColumn an AND-NOT of the
+// saved column with the comparator's Tc>Ts mask, 64 lines per iteration.
+//
+// Per-access methods (Visible, OnFill, OnFirstAccess, OnEvict) do not
+// re-validate their arguments: line indices come from the owning cache's
+// geometry and context indices are validated once at the column-operation
+// (context switch) boundary and at construction. Out-of-range values still
+// fault via slice bounds rather than corrupting state.
 type SecArray struct {
 	cfg      Config
 	lines    int
 	contexts int
+	words    int // words per column = VecWords(lines)
 
-	// sbits[line] is a bitmask over hardware contexts: bit c set means
-	// context c has seen the current resident copy of the line.
-	sbits []uint64
+	// cols holds the per-context s-bit columns back to back:
+	// cols[ctx*words .. (ctx+1)*words-1] is context ctx's packed column.
+	cols []uint64
 	// tc[line] is the truncated fill timestamp of the line.
 	tc []uint64
 	// arr mirrors tc in the transposed gate-level SRAM when GateLevel is on.
 	arr *bitserial.Array
+	// gtBuf is the reusable Tc>Ts mask buffer for RestoreColumn.
+	gtBuf []uint64
 
 	// Stats observable by the harness.
 	Compares     uint64 // context-switch comparison operations run
@@ -85,12 +102,15 @@ func NewSecArray(cfg Config, lines, contexts int) *SecArray {
 	if cfg.TimestampBits == 0 {
 		cfg.TimestampBits = clock.DefaultTimestampBits
 	}
+	words := VecWords(lines)
 	s := &SecArray{
 		cfg:      cfg,
 		lines:    lines,
 		contexts: contexts,
-		sbits:    make([]uint64, lines),
+		words:    words,
+		cols:     make([]uint64, contexts*words),
 		tc:       make([]uint64, lines),
+		gtBuf:    make([]uint64, words),
 	}
 	if cfg.GateLevel {
 		s.arr = bitserial.NewArray(lines, cfg.TimestampBits)
@@ -104,18 +124,25 @@ func (s *SecArray) Lines() int { return s.lines }
 // Contexts returns the number of hardware contexts sharing the cache.
 func (s *SecArray) Contexts() int { return s.contexts }
 
+// col returns ctx's packed column.
+func (s *SecArray) col(ctx int) []uint64 {
+	return s.cols[ctx*s.words : (ctx+1)*s.words : (ctx+1)*s.words]
+}
+
 // Visible reports whether the line's current resident copy has already been
 // seen by the context, i.e. whether a tag hit may be treated as a real hit.
 func (s *SecArray) Visible(line, ctx int) bool {
-	s.check(line, ctx)
-	return s.sbits[line]>>uint(ctx)&1 == 1
+	return s.cols[ctx*s.words+line>>6]>>(uint(line)&63)&1 == 1
 }
 
 // OnFill records a cache line fill by ctx at time now: the filling context's
 // s-bit is set, all other contexts' s-bits are reset, and Tc is stamped.
 func (s *SecArray) OnFill(line, ctx int, now clock.Cycles) {
-	s.check(line, ctx)
-	s.sbits[line] = 1 << uint(ctx)
+	w, mask := line>>6, uint64(1)<<(uint(line)&63)
+	for c := 0; c < s.contexts; c++ {
+		s.cols[c*s.words+w] &^= mask
+	}
+	s.cols[ctx*s.words+w] |= mask
 	t := uint64(clock.Trunc(now, s.cfg.TimestampBits))
 	s.tc[line] = t
 	if s.arr != nil {
@@ -126,43 +153,51 @@ func (s *SecArray) OnFill(line, ctx int, now clock.Cycles) {
 // OnFirstAccess records that ctx has now paid the first-access delay for a
 // resident line; subsequent accesses by ctx proceed as hits.
 func (s *SecArray) OnFirstAccess(line, ctx int) {
-	s.check(line, ctx)
-	s.sbits[line] |= 1 << uint(ctx)
+	s.cols[ctx*s.words+line>>6] |= 1 << (uint(line) & 63)
 }
 
 // OnEvict clears all s-bits for a line being evicted or invalidated.
 func (s *SecArray) OnEvict(line int) {
-	s.check(line, 0)
-	s.sbits[line] = 0
+	w, mask := line>>6, uint64(1)<<(uint(line)&63)
+	for c := 0; c < s.contexts; c++ {
+		s.cols[c*s.words+w] &^= mask
+	}
 }
 
 // Tc returns the truncated fill timestamp of a line (for tests and stats).
 func (s *SecArray) Tc(line int) uint64 {
-	s.check(line, 0)
 	return s.tc[line]
 }
 
 // SaveColumn extracts the s-bit column for ctx — the process-specific
-// caching context software writes to memory at preemption.
+// caching context software writes to memory at preemption. It allocates a
+// fresh SecVec; the kernel's switch path uses SaveColumnInto with a
+// per-process buffer instead.
 func (s *SecArray) SaveColumn(ctx int) SecVec {
-	s.check(0, ctx)
-	v := make(SecVec, VecWords(s.lines))
-	bit := uint64(1) << uint(ctx)
-	for line := 0; line < s.lines; line++ {
-		if s.sbits[line]&bit != 0 {
-			v[line/64] |= 1 << uint(line%64)
-		}
-	}
+	v := make(SecVec, s.words)
+	s.SaveColumnInto(ctx, v)
 	return v
 }
 
+// SaveColumnInto copies the s-bit column for ctx into dst, which must have
+// VecWords(Lines()) words. It performs no allocation: callers that switch
+// frequently keep one buffer per (process, cache) and reuse it.
+func (s *SecArray) SaveColumnInto(ctx int, dst SecVec) {
+	s.checkCtx(ctx)
+	if len(dst) != s.words {
+		panic(fmt.Sprintf("core: SecVec has %d words, want %d", len(dst), s.words))
+	}
+	copy(dst, s.col(ctx))
+}
+
 // ClearColumn resets every s-bit of a context (used when a brand-new
-// process is scheduled, and on the rollover path).
+// process is scheduled, and on the rollover path). The column is packed, so
+// this clears 64 lines per word store.
 func (s *SecArray) ClearColumn(ctx int) {
-	s.check(0, ctx)
-	mask := ^(uint64(1) << uint(ctx))
-	for line := range s.sbits {
-		s.sbits[line] &= mask
+	s.checkCtx(ctx)
+	col := s.col(ctx)
+	for i := range col {
+		col[i] = 0
 	}
 }
 
@@ -178,46 +213,58 @@ func (s *SecArray) ClearColumn(ctx int) {
 //     has not seen this copy.
 //
 // ts and now are full 64-bit cycle counts kept by software; the hardware
-// comparison uses the truncated values.
+// comparison uses the truncated values. Both the saved column and the
+// comparator output are packed bit vectors, so the reconciliation is an
+// AND-NOT per word — 64 lines per iteration, mirroring the hardware's
+// timestamp-parallel comparison.
 func (s *SecArray) RestoreColumn(ctx int, v SecVec, ts, now clock.Cycles) {
-	s.check(0, ctx)
-	if v != nil && len(v) != VecWords(s.lines) {
-		panic(fmt.Sprintf("core: SecVec has %d words, want %d", len(v), VecWords(s.lines)))
+	s.checkCtx(ctx)
+	if v != nil && len(v) != s.words {
+		panic(fmt.Sprintf("core: SecVec has %d words, want %d", len(v), s.words))
 	}
-	s.ClearColumn(ctx)
+	col := s.col(ctx)
 	if v == nil {
+		for i := range col {
+			col[i] = 0
+		}
 		return
 	}
 	if clock.RolledOver(ts, now, s.cfg.TimestampBits) {
 		s.Rollovers++
+		for i := range col {
+			col[i] = 0
+		}
 		return
 	}
 	s.Compares++
 	tsTrunc := uint64(clock.Trunc(ts, s.cfg.TimestampBits))
 	var gt []uint64
 	if s.arr != nil {
-		gt = s.arr.CompareGT(tsTrunc)
+		gt = s.arr.CompareGTInto(tsTrunc, s.gtBuf)
 	} else {
-		gt = bitserial.ReferenceGT(s.tc, tsTrunc, s.cfg.TimestampBits)
+		gt = bitserial.ReferenceGTInto(s.tc, tsTrunc, s.cfg.TimestampBits, s.gtBuf)
 	}
-	bit := uint64(1) << uint(ctx)
-	for line := 0; line < s.lines; line++ {
-		w, b := line/64, uint(line%64)
-		if v[w]>>b&1 == 0 {
-			continue
-		}
-		if gt[w]>>b&1 == 1 {
-			s.ResetsByComp++
-			continue // line is newer than Ts: stay invisible
-		}
-		s.sbits[line] |= bit
+	// Mask stray bits beyond the last line so a padded saved column cannot
+	// resurrect lines the array does not cover.
+	tailMask := ^uint64(0)
+	if r := uint(s.lines) % 64; r != 0 {
+		tailMask = (uint64(1) << r) - 1
 	}
+	last := s.words - 1
+	var resets uint64
+	for w := 0; w < s.words; w++ {
+		vw := v[w]
+		if w == last {
+			vw &= tailMask
+		}
+		resets += uint64(bits.OnesCount64(vw & gt[w]))
+		col[w] = vw &^ gt[w]
+	}
+	s.ResetsByComp += resets
 }
 
-func (s *SecArray) check(line, ctx int) {
-	if line < 0 || line >= s.lines {
-		panic(fmt.Sprintf("core: line %d out of range [0,%d)", line, s.lines))
-	}
+// checkCtx validates a context index at the column-operation boundary.
+func (s *SecArray) checkCtx(ctx int) {
 	if ctx < 0 || ctx >= s.contexts {
 		panic(fmt.Sprintf("core: context %d out of range [0,%d)", ctx, s.contexts))
 	}

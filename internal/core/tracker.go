@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"timecache/internal/clock"
 )
@@ -31,6 +32,10 @@ type Tracker interface {
 	OnEvict(line int)
 	// SaveColumn extracts ctx's visibility as a bit vector (software save).
 	SaveColumn(ctx int) SecVec
+	// SaveColumnInto writes ctx's visibility into dst, which must have
+	// VecWords(Lines()) words, without allocating. Frequent switchers keep
+	// one buffer per (process, cache) and reuse it across switches.
+	SaveColumnInto(ctx int, dst SecVec)
 	// ClearColumn removes all of ctx's visibility.
 	ClearColumn(ctx int)
 	// RestoreColumn installs a saved column, reconciling against Tc/Ts.
@@ -121,9 +126,10 @@ func (t *LimitedTracker) check(line, ctx int) {
 	}
 }
 
-// Visible implements Tracker.
+// Visible implements Tracker. Like SecArray, per-access methods trust the
+// owning cache's geometry and skip argument re-validation; slice bounds
+// still fault on garbage indices.
 func (t *LimitedTracker) Visible(line, ctx int) bool {
-	t.check(line, ctx)
 	base := line * t.k
 	for s := 0; s < t.k; s++ {
 		if t.slotValid[base+s] && int(t.slots[base+s]) == ctx {
@@ -135,7 +141,6 @@ func (t *LimitedTracker) Visible(line, ctx int) bool {
 
 // OnFill implements Tracker.
 func (t *LimitedTracker) OnFill(line, ctx int, now clock.Cycles) {
-	t.check(line, ctx)
 	base := line * t.k
 	for s := 0; s < t.k; s++ {
 		t.slotValid[base+s] = false
@@ -170,13 +175,11 @@ func (t *LimitedTracker) add(line, ctx int) {
 
 // OnFirstAccess implements Tracker.
 func (t *LimitedTracker) OnFirstAccess(line, ctx int) {
-	t.check(line, ctx)
 	t.add(line, ctx)
 }
 
 // OnEvict implements Tracker.
 func (t *LimitedTracker) OnEvict(line int) {
-	t.check(line, 0)
 	base := line * t.k
 	for s := 0; s < t.k; s++ {
 		t.slotValid[base+s] = false
@@ -185,25 +188,37 @@ func (t *LimitedTracker) OnEvict(line int) {
 
 // SaveColumn implements Tracker.
 func (t *LimitedTracker) SaveColumn(ctx int) SecVec {
-	t.check(0, ctx)
 	v := make(SecVec, VecWords(t.lines))
-	for line := 0; line < t.lines; line++ {
-		if t.Visible(line, ctx) {
-			v[line/64] |= 1 << uint(line%64)
-		}
-	}
+	t.SaveColumnInto(ctx, v)
 	return v
 }
 
-// ClearColumn implements Tracker.
+// SaveColumnInto implements Tracker: one linear scan over the slot arrays,
+// with validation and slot-base arithmetic hoisted out of the per-line work
+// (the old shape called Visible — and its bounds checks — per line).
+func (t *LimitedTracker) SaveColumnInto(ctx int, dst SecVec) {
+	t.check(0, ctx)
+	if len(dst) != VecWords(t.lines) {
+		panic(fmt.Sprintf("core: SecVec has %d words, want %d", len(dst), VecWords(t.lines)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, valid := range t.slotValid {
+		if valid && int(t.slots[i]) == ctx {
+			line := i / t.k
+			dst[line>>6] |= 1 << (uint(line) & 63)
+		}
+	}
+}
+
+// ClearColumn implements Tracker: a single pass over the flat slot arrays
+// instead of a lines×k nested loop with per-line base recomputation.
 func (t *LimitedTracker) ClearColumn(ctx int) {
 	t.check(0, ctx)
-	for line := 0; line < t.lines; line++ {
-		base := line * t.k
-		for s := 0; s < t.k; s++ {
-			if t.slotValid[base+s] && int(t.slots[base+s]) == ctx {
-				t.slotValid[base+s] = false
-			}
+	for i, valid := range t.slotValid {
+		if valid && int(t.slots[i]) == ctx {
+			t.slotValid[i] = false
 		}
 	}
 }
@@ -228,14 +243,24 @@ func (t *LimitedTracker) RestoreColumn(ctx int, v SecVec, ts, now clock.Cycles) 
 	if t.cfg.TimestampBits < 64 {
 		mask = (1 << t.cfg.TimestampBits) - 1
 	}
-	for line := 0; line < t.lines; line++ {
-		if !v.Bit(line) {
-			continue
+	// Walk the saved column a word (64 lines) at a time, skipping empty
+	// words; only set bits pay the per-line Tc comparison and slot insert.
+	tailMask := ^uint64(0)
+	if r := uint(t.lines) % 64; r != 0 {
+		tailMask = (uint64(1) << r) - 1
+	}
+	last := len(v) - 1
+	for w, word := range v {
+		if w == last {
+			word &= tailMask
 		}
-		if t.tc[line]&mask > tsTrunc {
-			continue // refilled while preempted: stay invisible
+		for ; word != 0; word &= word - 1 {
+			line := w<<6 + bits.TrailingZeros64(word)
+			if t.tc[line]&mask > tsTrunc {
+				continue // refilled while preempted: stay invisible
+			}
+			t.add(line, ctx)
 		}
-		t.add(line, ctx)
 	}
 }
 

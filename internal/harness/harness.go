@@ -11,6 +11,7 @@ import (
 	"timecache/internal/core"
 	"timecache/internal/kernel"
 	"timecache/internal/mem"
+	"timecache/internal/runner"
 	"timecache/internal/stats"
 	"timecache/internal/telemetry"
 	"timecache/internal/workload"
@@ -37,6 +38,21 @@ type Options struct {
 	// configured output paths are suffixed with the workload label and mode
 	// so one config fans out over a whole sweep.
 	Telemetry *telemetry.Config
+	// Jobs is the number of simulation runs executed concurrently by the
+	// sweep entry points (RunAllSpecPairs, RunAllParsec, RunLLCSensitivity,
+	// RunDefenseAblation, RunBookkeepingScaling). Each run builds its own
+	// machine, so results are bit-identical to sequential execution; see
+	// internal/runner. Zero or negative selects runtime.GOMAXPROCS(0);
+	// 1 is strictly sequential.
+	Jobs int
+	// Progress, when non-nil, is called after each completed run of a sweep
+	// with (done, total). Calls are serialized.
+	Progress func(done, total int)
+}
+
+// pool builds the runner options for this configuration.
+func (o Options) pool() runner.Options {
+	return runner.Options{Workers: o.Jobs, Progress: o.Progress}
 }
 
 // attachTelemetry attaches a collector for a run labeled label/mode, or
@@ -273,16 +289,13 @@ func RunSpecPair(pair workload.Pair, opts Options) (PairResult, error) {
 }
 
 // RunAllSpecPairs reproduces Figures 7 and 8 and the SPEC half of Table II.
+// Pairs are fully independent (each run builds its own machine), so they
+// fan out across Options.Jobs workers with results in paper order.
 func RunAllSpecPairs(opts Options) ([]PairResult, error) {
-	var out []PairResult
-	for _, pair := range workload.SpecPairs() {
-		r, err := RunSpecPair(pair, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	pairs := workload.SpecPairs()
+	return runner.Map(len(pairs), opts.pool(), func(i int) (PairResult, error) {
+		return RunSpecPair(pairs[i], opts)
+	})
 }
 
 // runParsecOnce runs one 2-thread/2-core PARSEC workload.
@@ -341,17 +354,13 @@ func RunParsec(name string, opts Options) (PairResult, error) {
 	return result(name, mb, mt), nil
 }
 
-// RunAllParsec reproduces Figures 9a/9b and the PARSEC rows of Table II.
+// RunAllParsec reproduces Figures 9a/9b and the PARSEC rows of Table II,
+// fanned out across Options.Jobs workers.
 func RunAllParsec(opts Options) ([]PairResult, error) {
-	var out []PairResult
-	for _, name := range workload.ParsecNames() {
-		r, err := RunParsec(name, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	names := workload.ParsecNames()
+	return runner.Map(len(names), opts.pool(), func(i int) (PairResult, error) {
+		return RunParsec(names[i], opts)
+	})
 }
 
 // SensitivityPoint is one Fig. 10 sweep point.
@@ -362,22 +371,25 @@ type SensitivityPoint struct {
 }
 
 // RunLLCSensitivity reproduces Fig. 10: geometric-mean overhead of the
-// same-benchmark pairs at each LLC size.
+// same-benchmark pairs at each LLC size. The whole size×pair grid is
+// flattened into one job list so small sweeps still saturate the pool.
 func RunLLCSensitivity(sizes []int, pairs []workload.Pair, opts Options) ([]SensitivityPoint, error) {
 	opts = opts.withDefaults()
-	var out []SensitivityPoint
-	for _, size := range sizes {
+	norms, err := runner.Map(len(sizes)*len(pairs), opts.pool(), func(i int) (float64, error) {
 		o := opts
-		o.LLCSize = size
-		var norms []float64
-		for _, pair := range pairs {
-			r, err := RunSpecPair(pair, o)
-			if err != nil {
-				return nil, err
-			}
-			norms = append(norms, r.Normalized)
+		o.LLCSize = sizes[i/len(pairs)]
+		r, err := RunSpecPair(pairs[i%len(pairs)], o)
+		if err != nil {
+			return 0, err
 		}
-		gm := stats.GeoMean(norms)
+		return r.Normalized, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []SensitivityPoint
+	for si, size := range sizes {
+		gm := stats.GeoMean(norms[si*len(pairs) : (si+1)*len(pairs)])
 		out = append(out, SensitivityPoint{LLCSize: size, GeoMeanNorm: gm, OverheadPct: stats.OverheadPct(gm)})
 	}
 	return out, nil
@@ -417,9 +429,10 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 		{name: "partitioned", mode: cache.SecOff, partitioned: true},
 		{name: "flush-on-switch", mode: cache.SecOff, flushOnSwitch: true},
 	}
-	var baseline uint64
-	var out []DefenseResult
-	for _, cfgDef := range configs {
+	// Each defense configuration is an independent machine; run them all
+	// concurrently and normalize against the baseline's cycles afterwards.
+	cyclesFor, err := runner.Map(len(configs), opts.pool(), func(i int) (uint64, error) {
+		cfgDef := configs[i]
 		hcfg := cache.DefaultHierarchyConfig()
 		hcfg.Mode = cfgDef.mode
 		hcfg.LLCSize = opts.LLCSize
@@ -443,23 +456,27 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 		total := opts.WarmupInstrs + opts.InstrsPerProc
 		_, procA, err := workload.Spawn(k, pa, workload.SpawnOptions{Instrs: total, Seed: 1001})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		_, procB, err := workload.Spawn(k, pb, workload.SpawnOptions{Instrs: total, Seed: 2002})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
 		procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
 		k.Run(1 << 62)
 		if !k.AllExited() || warmed != 2 {
-			return nil, fmt.Errorf("harness: ablation %s/%s did not finish", pair.Label, cfgDef.name)
+			return 0, fmt.Errorf("harness: ablation %s/%s did not finish", pair.Label, cfgDef.name)
 		}
-		cycles := snapCounters(k).sub(warm).cycles
-		if cfgDef.name == "baseline" {
-			baseline = cycles
-		}
-		out = append(out, DefenseResult{Defense: cfgDef.name, Normalized: stats.Normalized(cycles, baseline)})
+		return snapCounters(k).sub(warm).cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := cyclesFor[0] // configs[0] is the baseline
+	var out []DefenseResult
+	for i, cfgDef := range configs {
+		out = append(out, DefenseResult{Defense: cfgDef.name, Normalized: stats.Normalized(cyclesFor[i], baseline)})
 	}
 	return out, nil
 }
@@ -478,21 +495,19 @@ type BookkeepingPoint struct {
 // 1–10 ms scheduler quanta, converging on the paper's ~0.02% figure.
 func RunBookkeepingScaling(pair workload.Pair, slices []uint64, opts Options) ([]BookkeepingPoint, error) {
 	opts = opts.withDefaults()
-	var out []BookkeepingPoint
-	for _, slice := range slices {
+	return runner.Map(len(slices), opts.pool(), func(i int) (BookkeepingPoint, error) {
 		o := opts
-		o.SliceCycles = slice
+		o.SliceCycles = slices[i]
 		r, err := RunSpecPair(pair, o)
 		if err != nil {
-			return nil, err
+			return BookkeepingPoint{}, err
 		}
-		out = append(out, BookkeepingPoint{
-			SliceCycles:    slice,
+		return BookkeepingPoint{
+			SliceCycles:    slices[i],
 			BookkeepingPct: r.BookkeepingPct,
 			OverheadPct:    stats.OverheadPct(r.Normalized),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // SbitCostBreakdown quantifies §VI-D: how many transfers one switch needs

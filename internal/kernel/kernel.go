@@ -114,6 +114,15 @@ type coreState struct {
 	sliceInstrs uint64
 	// runStart is the clock when cur was scheduled in (telemetry spans).
 	runStart uint64
+
+	// secCaches and secLineCounts are the caches whose s-bit columns this
+	// context saves/restores at each switch, precomputed at kernel
+	// construction so the switch path does not allocate.
+	secCaches     []cache.CacheCtx
+	secLineCounts []int
+	// switchCost is the fixed per-switch s-bit bookkeeping charge for this
+	// context's caches under the configured cost model.
+	switchCost uint64
 }
 
 // Kernel owns the machine: physical memory, the cache hierarchy, cores, and
@@ -154,7 +163,15 @@ func New(cfg Config, hier *cache.Hierarchy, phys *mem.Physical) *Kernel {
 	}
 	ncpus := hier.Contexts()
 	for c := 0; c < ncpus; c++ {
-		k.cores = append(k.cores, &coreState{id: c, ctx: c})
+		cs := &coreState{id: c, ctx: c}
+		cs.secCaches = hier.SecCaches(c)
+		for _, cc := range cs.secCaches {
+			cs.secLineCounts = append(cs.secLineCounts, cc.Cache.Lines())
+		}
+		if len(cs.secLineCounts) > 0 {
+			cs.switchCost = cfg.Cost.SwitchCost(cs.secLineCounts)
+		}
+		k.cores = append(k.cores, cs)
 	}
 	// Allocate the kernel text region.
 	lines := cfg.KernelTextLines
@@ -293,18 +310,24 @@ func (k *Kernel) contextSwitch(c *coreState, out, in *Process) {
 	}
 
 	var bkStart, bkEnd uint64
-	secCaches := k.hier.SecCaches(c.ctx)
-	if len(secCaches) > 0 {
+	if len(c.secCaches) > 0 {
 		if out != nil {
-			for _, cc := range secCaches {
-				out.saved[cc.Cache] = cc.Cache.Sec().SaveColumn(cc.LocalCtx)
+			for _, cc := range c.secCaches {
+				// Reuse the process's saved-column buffer across switches;
+				// the first save on each cache allocates it once.
+				buf := out.saved[cc.Cache]
+				if buf == nil {
+					buf = make(core.SecVec, core.VecWords(cc.Cache.Lines()))
+					out.saved[cc.Cache] = buf
+				}
+				cc.Cache.Sec().SaveColumnInto(cc.LocalCtx, buf)
 			}
 			out.Ts = c.clock.Now()
 			out.everRan = true
 		}
 		if in != nil {
 			now := c.clock.Now()
-			for _, cc := range secCaches {
+			for _, cc := range c.secCaches {
 				var v core.SecVec
 				if in.everRan {
 					v = in.saved[cc.Cache]
@@ -313,12 +336,8 @@ func (k *Kernel) contextSwitch(c *coreState, out, in *Process) {
 			}
 		}
 		// The paper charges a single DMA transfer per switch for the save
-		// and restore of the s-bit buffer.
-		var lineCounts []int
-		for _, cc := range secCaches {
-			lineCounts = append(lineCounts, cc.Cache.Lines())
-		}
-		bk := k.cfg.Cost.SwitchCost(lineCounts)
+		// and restore of the s-bit buffer (cost precomputed per context).
+		bk := c.switchCost
 		bkStart = c.clock.Now()
 		c.clock.Advance(bk)
 		bkEnd = c.clock.Now()

@@ -1,6 +1,10 @@
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+
+	"timecache/internal/core"
+)
 
 // Migrate moves a ready or sleeping process to another logical CPU. The
 // TimeCache consequences mirror real hardware: the process's saved s-bit
@@ -34,8 +38,13 @@ func (k *Kernel) Migrate(p *Process, newCPU int) error {
 	// (it was the most recently descheduled there), save them now so the
 	// shared-cache (LLC) column follows the process.
 	if old.prev == p {
-		for _, cc := range k.hier.SecCaches(old.ctx) {
-			p.saved[cc.Cache] = cc.Cache.Sec().SaveColumn(cc.LocalCtx)
+		for _, cc := range old.secCaches {
+			buf := p.saved[cc.Cache]
+			if buf == nil {
+				buf = make(core.SecVec, core.VecWords(cc.Cache.Lines()))
+				p.saved[cc.Cache] = buf
+			}
+			cc.Cache.Sec().SaveColumnInto(cc.LocalCtx, buf)
 		}
 		p.Ts = old.clock.Now()
 		p.everRan = true
@@ -45,7 +54,7 @@ func (k *Kernel) Migrate(p *Process, newCPU int) error {
 	// restore on the new core would not find them anyway, but pruning
 	// keeps the software-side caching context honest (and bounded).
 	keep := map[interface{}]bool{}
-	for _, cc := range k.hier.SecCaches(k.cores[newCPU].ctx) {
+	for _, cc := range k.cores[newCPU].secCaches {
 		keep[cc.Cache] = true
 	}
 	for c := range p.saved {

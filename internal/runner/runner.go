@@ -1,0 +1,129 @@
+// Package runner fans independent simulation runs out across a pool of
+// worker goroutines while keeping results exactly as deterministic as a
+// sequential loop.
+//
+// Every experiment sweep in this repository (workload pair × mode × LLC
+// size × defense) is embarrassingly parallel: each run constructs its own
+// Machine — kernel, hierarchy, physical memory — so runs share no mutable
+// state and the per-run results are bit-identical regardless of scheduling.
+// The pool only changes *when* runs execute, never *what* they compute;
+// results are delivered in index order, so downstream CSV/markdown output
+// is byte-identical between -j1 and -jN.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options controls a pool invocation.
+type Options struct {
+	// Workers is the number of concurrent workers. Values <= 0 (and 1)
+	// select runtime.GOMAXPROCS(0) and sequential execution respectively.
+	Workers int
+	// Progress, when non-nil, is called after each job finishes with the
+	// number of completed jobs and the total. Calls are serialized but may
+	// arrive in any completion order; done is monotonically increasing.
+	Progress func(done, total int)
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(i) for every i in [0, n) across the pool and returns the
+// results in index order. On failure the pool stops handing out new jobs,
+// waits for in-flight jobs, and returns the error of the lowest-indexed
+// failed job (with a single worker that is always the first error, i.e.
+// sequential semantics). The partial results are discarded on error.
+func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	workers := opts.workers(n)
+
+	if workers == 1 {
+		// Sequential fast path: no goroutines, exactly today's behavior.
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+			if opts.Progress != nil {
+				opts.Progress(i+1, n)
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64 // next job index to hand out
+		failed atomic.Bool  // set on first error: stop handing out jobs
+		done   atomic.Int64 // completed jobs (success only), for Progress
+
+		mu       sync.Mutex // guards firstErr/firstIdx and Progress calls
+		firstErr error
+		firstIdx int
+		wg       sync.WaitGroup
+	)
+
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					record(i, err)
+					return
+				}
+				results[i] = r
+				if opts.Progress != nil {
+					d := int(done.Add(1))
+					mu.Lock()
+					opts.Progress(d, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Do is Map for jobs with no result value.
+func Do(n int, opts Options, fn func(i int) error) error {
+	_, err := Map(n, opts, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,93 @@
+package timecache
+
+import (
+	"testing"
+
+	"timecache/internal/stats"
+)
+
+// quickOpts returns experiment options scaled down far enough for CI while
+// still crossing the warmup threshold on every process.
+func quickOpts(jobs int) ExperimentOptions {
+	return ExperimentOptions{InstrsPerProc: 20_000, WarmupInstrs: 20_000, Jobs: jobs}
+}
+
+// TestParallelLLCSensitivityDeterminism runs the Fig. 10 sweep sequentially
+// and with 8 workers and asserts the rendered CSV — the artifact
+// `reproduce` writes — is byte-identical: the pool may change when runs
+// execute, never what they compute.
+func TestParallelLLCSensitivityDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	sizes := []int{512 << 10, 1 << 20}
+	render := func(jobs int) string {
+		rows, err := ReproduceLLCSensitivity(sizes, quickOpts(jobs))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		tab := stats.NewTable("llc", "geomean-normalized", "overhead-pct")
+		for _, r := range rows {
+			tab.Add(r.LLCSizeBytes, r.GeoMeanNorm, r.OverheadPct)
+		}
+		return tab.CSV()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("CSV output differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s", seq, par)
+	}
+}
+
+// TestParallelAblationDeterminism exercises the trickiest rewiring: the
+// defense ablation normalizes every configuration against the baseline
+// run, which sequential code computed first. The parallel version must
+// produce the identical table (markdown here, covering the second output
+// format).
+func TestParallelAblationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	render := func(jobs int) string {
+		rows, err := ReproduceDefenseAblation("2Xgobmk", quickOpts(jobs))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		tab := stats.NewTable("defense", "normalized-time")
+		for _, r := range rows {
+			tab.Add(r.Defense, r.Normalized)
+		}
+		return tab.Markdown()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("markdown output differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s", seq, par)
+	}
+}
+
+// TestParallelBookkeepingDeterminism covers the slice-length sweep with a
+// row-by-row comparison (struct equality, stricter than the rendered
+// table).
+func TestParallelBookkeepingDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	slices := []uint64{50_000, 100_000}
+	seq, err := ReproduceBookkeepingScaling(slices, quickOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReproduceBookkeepingScaling(slices, quickOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
