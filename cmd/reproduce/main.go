@@ -36,6 +36,8 @@ func main() {
 		warmup = flag.Uint64("warmup", 0, "override warmup instructions per process")
 		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation runs (-j1 = sequential); output is byte-identical at any -j")
 
+		cohCheck = flag.Bool("coherence-check", false, "cross-check the LLC sharer directory against brute-force L1 probes on every coherence event (debug; slow)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
 
@@ -82,6 +84,7 @@ func main() {
 		opts.WarmupInstrs = *warmup
 	}
 	opts.Jobs = *jobs
+	opts.CoherenceCheck = *cohCheck
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

@@ -43,6 +43,7 @@ func main() {
 		cores     = flag.Int("cores", 1, "number of cores")
 		compare   = flag.Bool("compare", false, "run baseline and timecache and report normalized time")
 		gate      = flag.Bool("gatelevel", false, "use the gate-level bit-serial comparator")
+		cohCheck  = flag.Bool("coherence-check", false, "cross-check the LLC sharer directory against brute-force L1 probes on every coherence event (debug; slow)")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent runs in the -llc-sweep path (-j1 = sequential)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -93,13 +94,13 @@ func main() {
 	telemetryOn := tcfg != (telemetry.Config{}) || *showHist
 
 	if *llcSweep != "" {
-		if err := runLLCSweep(*llcSweep, *workloads, *instrs, *cores, *gate, *jobs); err != nil {
+		if err := runLLCSweep(*llcSweep, *workloads, *instrs, *cores, *gate, *cohCheck, *jobs); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *compare {
-		if err := runCompare(*workloads, *instrs, *llc, *cores, *gate, tcfg, telemetryOn, *showHist); err != nil {
+		if err := runCompare(*workloads, *instrs, *llc, *cores, *gate, *cohCheck, tcfg, telemetryOn, *showHist); err != nil {
 			fatal(err)
 		}
 		return
@@ -108,7 +109,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cycles, st, col, err := runOnce(mode, *workloads, *instrs, *llc, *cores, *gate, tcfg, telemetryOn)
+	cycles, st, col, err := runOnce(mode, *workloads, *instrs, *llc, *cores, *gate, *cohCheck, tcfg, telemetryOn)
 	if err != nil {
 		fatal(err)
 	}
@@ -146,9 +147,10 @@ func expand(list string) []string {
 	return out
 }
 
-func runOnce(mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate bool, tcfg telemetry.Config, withTelemetry bool) (uint64, timecache.Stats, *telemetry.Collector, error) {
+func runOnce(mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry bool) (uint64, timecache.Stats, *telemetry.Collector, error) {
 	sys, err := timecache.New(timecache.Config{
 		Mode: mode, LLCSize: llc, Cores: cores, GateLevel: gate,
+		CoherenceCheck: cohCheck,
 	})
 	if err != nil {
 		return 0, timecache.Stats{}, nil, err
@@ -216,7 +218,7 @@ func sizeLabel(n int) string {
 // runLLCSweep runs baseline and timecache legs of the given workload mix at
 // each LLC size, fanning the independent runs out across -j workers. Every
 // run builds its own machine, so the table is byte-identical at any -j.
-func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate bool, jobs int) error {
+func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate, cohCheck bool, jobs int) error {
 	var sizes []int
 	for _, f := range strings.Split(sweep, ",") {
 		if strings.TrimSpace(f) == "" {
@@ -236,7 +238,7 @@ func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate bool, j
 	modes := []timecache.Mode{timecache.Baseline, timecache.TimeCache}
 	cycles, err := runner.Map(len(sizes)*len(modes), runner.Options{Workers: jobs}, func(i int) (uint64, error) {
 		size, mode := sizes[i/len(modes)], modes[i%len(modes)]
-		c, _, _, err := runOnce(mode, workloads, instrs, size, cores, gate, telemetry.Config{}, false)
+		c, _, _, err := runOnce(mode, workloads, instrs, size, cores, gate, cohCheck, telemetry.Config{}, false)
 		return c, err
 	})
 	if err != nil {
@@ -253,12 +255,12 @@ func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate bool, j
 	return nil
 }
 
-func runCompare(workloads string, instrs uint64, llc, cores int, gate bool, tcfg telemetry.Config, withTelemetry, showHist bool) error {
-	bCycles, _, _, err := runOnce(timecache.Baseline, workloads, instrs, llc, cores, gate, telemetry.Config{}, false)
+func runCompare(workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry, showHist bool) error {
+	bCycles, _, _, err := runOnce(timecache.Baseline, workloads, instrs, llc, cores, gate, cohCheck, telemetry.Config{}, false)
 	if err != nil {
 		return err
 	}
-	tCycles, st, col, err := runOnce(timecache.TimeCache, workloads, instrs, llc, cores, gate, tcfg, withTelemetry)
+	tCycles, st, col, err := runOnce(timecache.TimeCache, workloads, instrs, llc, cores, gate, cohCheck, tcfg, withTelemetry)
 	if err != nil {
 		return err
 	}

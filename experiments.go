@@ -19,6 +19,9 @@ type ExperimentOptions struct {
 	// GateLevel runs the gate-level bit-serial comparator during context
 	// switches instead of the fast functional path.
 	GateLevel bool
+	// CoherenceCheck cross-checks the LLC sharer directory against a
+	// brute-force probe of every L1 on every coherence event (debug mode).
+	CoherenceCheck bool
 	// Telemetry, when non-nil, attaches a telemetry collector to every
 	// underlying run; output paths are suffixed per workload and mode.
 	Telemetry *telemetry.Config
@@ -35,13 +38,14 @@ type ExperimentOptions struct {
 
 func (o ExperimentOptions) harness() harness.Options {
 	return harness.Options{
-		InstrsPerProc: o.InstrsPerProc,
-		WarmupInstrs:  o.WarmupInstrs,
-		LLCSize:       o.LLCSizeBytes,
-		GateLevel:     o.GateLevel,
-		Telemetry:     o.Telemetry,
-		Jobs:          o.Jobs,
-		Progress:      o.Progress,
+		InstrsPerProc:  o.InstrsPerProc,
+		WarmupInstrs:   o.WarmupInstrs,
+		LLCSize:        o.LLCSizeBytes,
+		GateLevel:      o.GateLevel,
+		CoherenceCheck: o.CoherenceCheck,
+		Telemetry:      o.Telemetry,
+		Jobs:           o.Jobs,
+		Progress:       o.Progress,
 	}
 }
 

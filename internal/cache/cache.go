@@ -62,6 +62,11 @@ type line struct {
 	tag   uint64 // line-aligned address; meaningful only when st != invalid
 	st    state
 	dirty bool // used at the LLC (L1 dirtiness is st == modified)
+	// llcHint caches the LLC slot index backing this L1 line, set by the
+	// hierarchy at fill time when the sharer directory is on. It is only a
+	// hint — consumers verify the slot's tag before trusting it — and it
+	// fits in the struct's existing padding, so it costs no memory.
+	llcHint int32
 }
 
 // Stats counts events at one cache.
@@ -133,7 +138,17 @@ type Cache struct {
 	ways  int
 	lines []line
 	pol   replacement.Policy
-	sec   core.Tracker
+	// lru is pol's concrete type when the policy is true LRU, letting the
+	// hit path call Touch directly (inlinable) instead of through the
+	// interface.
+	lru *replacement.LRUPolicy
+	// mru memoizes the most recently hit or filled way per set: the common
+	// L1 hit re-references the same line, so lookup checks this way first
+	// and the hit costs a single tag compare. The memo is only a hint —
+	// validity and tag are always re-checked — so invalidations can leave
+	// it stale safely.
+	mru []int32
+	sec core.Tracker
 
 	Stats Stats
 }
@@ -157,6 +172,10 @@ func New(cfg Config) *Cache {
 		ways:  cfg.Ways,
 		lines: make([]line, sets*cfg.Ways),
 		pol:   pol,
+		mru:   make([]int32, sets),
+	}
+	if l, ok := pol.(*replacement.LRUPolicy); ok {
+		c.lru = l
 	}
 	if cfg.Sec != nil {
 		if cfg.SecContexts <= 0 {
@@ -203,13 +222,26 @@ func (c *Cache) wayRange(ctx int) (int, int) {
 	return first, first + n
 }
 
-// lookup returns the line index holding lineAddr for ctx, or -1.
+// lookup returns the line index holding lineAddr for ctx, or -1. The MRU
+// fast path makes the common repeated hit a single tag compare; the way
+// scan below is only reached on a set change or a miss.
 func (c *Cache) lookup(lineAddr uint64, ctx int) int {
 	set := c.setOf(lineAddr)
-	lo, hi := c.wayRange(ctx)
 	base := set * c.ways
+	if w := int(c.mru[set]); true {
+		if l := &c.lines[base+w]; l.st != invalid && l.tag == lineAddr {
+			if c.cfg.Partition == nil {
+				return base + w
+			}
+			if lo, hi := c.wayRange(ctx); w >= lo && w < hi {
+				return base + w
+			}
+		}
+	}
+	lo, hi := c.wayRange(ctx)
 	for w := lo; w < hi; w++ {
 		if l := &c.lines[base+w]; l.st != invalid && l.tag == lineAddr {
+			c.mru[set] = int32(w)
 			return base + w
 		}
 	}
@@ -217,10 +249,16 @@ func (c *Cache) lookup(lineAddr uint64, ctx int) int {
 }
 
 // Probe reports whether lineAddr is resident (any context's partition),
-// without touching replacement state or stats. Used by snooping and tests.
+// without touching replacement state or stats. Used by snooping, the
+// sharer directory, and tests.
 func (c *Cache) Probe(lineAddr uint64) int {
 	set := c.setOf(lineAddr)
 	base := set * c.ways
+	if w := int(c.mru[set]); true {
+		if l := &c.lines[base+w]; l.st != invalid && l.tag == lineAddr {
+			return base + w
+		}
+	}
 	for w := 0; w < c.ways; w++ {
 		if l := &c.lines[base+w]; l.st != invalid && l.tag == lineAddr {
 			return base + w
@@ -237,8 +275,14 @@ func (c *Cache) visible(idx, ctx int) bool {
 	return c.sec.Visible(idx, ctx)
 }
 
-// touch updates replacement state for a line index.
+// touch updates replacement state for a line index, calling the concrete
+// LRU policy directly when possible (devirtualized: the default policy's
+// Touch then inlines into the hit path).
 func (c *Cache) touch(idx int) {
+	if c.lru != nil {
+		c.lru.Touch(idx/c.ways, idx%c.ways)
+		return
+	}
 	c.pol.Touch(idx/c.ways, idx%c.ways)
 }
 
@@ -296,6 +340,7 @@ func (c *Cache) fill(idx int, lineAddr uint64, st state, ctx int, now clock.Cycl
 	l.tag = lineAddr
 	l.st = st
 	l.dirty = false
+	c.mru[idx/c.ways] = int32(idx % c.ways)
 	c.touch(idx)
 	if c.sec != nil {
 		c.sec.OnFill(idx, ctx, now)

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"timecache/internal/clock"
 	"timecache/internal/core"
@@ -92,6 +93,20 @@ type HierarchyConfig struct {
 	// prefetched on behalf of the victim is still a first access for the
 	// attacker.
 	NextLinePrefetch bool
+
+	// DisableDirectory forces the broadcast (probe-every-core) coherence
+	// implementation even where the LLC sharer directory would apply.
+	// Used for A/B benchmarking the two paths; the directory is also
+	// bypassed automatically for single-core hierarchies (nothing to
+	// snoop), way-partitioned mode (one cache can hold duplicate copies
+	// of a line, which a per-core presence bit cannot represent), and
+	// beyond 64 cores (presence mask width).
+	DisableDirectory bool
+	// CoherenceCheck cross-checks the sharer directory against a
+	// brute-force probe of every L1 after every coherence event and
+	// panics on divergence. Debug mode (-coherence-check on the CLIs);
+	// costs O(cores) per access.
+	CoherenceCheck bool
 }
 
 // DefaultHierarchyConfig mirrors the paper's gem5 setup: 32 KB 8-way L1I and
@@ -144,6 +159,9 @@ type Hierarchy struct {
 	l1i []*Cache // per core
 	l1d []*Cache // per core
 	llc *Cache
+	// dir is the LLC sharer directory (see directory.go); nil when the
+	// hierarchy uses the broadcast coherence fallback.
+	dir *directory
 	obs Observer
 	// activeDomain is each core's current security domain (partitioned
 	// mode); the OS updates it at context switches.
@@ -250,6 +268,9 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		Latency: cfg.LLCLat, Policy: cfg.Policy, PolicySeed: cfg.PolicySeed + 1000,
 		Sec: sec, SecContexts: n, Partition: llcPart, Index: idx,
 	})
+	if cfg.Cores > 1 && cfg.Cores <= 64 && !cfg.Partitioned && !cfg.DisableDirectory {
+		h.dir = newDirectory(h.llc)
+	}
 	return h
 }
 
@@ -286,6 +307,9 @@ func (h *Hierarchy) llcCtx(ctx int) int {
 // line containing addr, at simulation time now.
 func (h *Hierarchy) Access(now clock.Cycles, ctx int, addr uint64, kind Kind) Result {
 	res := h.access(now, ctx, addr, kind)
+	if h.cfg.CoherenceCheck {
+		h.verifyLine(addr&^(LineSize-1), "access")
+	}
 	if h.obs != nil {
 		h.obs.ObserveAccess(now, ctx, addr, kind, res)
 	}
@@ -304,8 +328,12 @@ func (h *Hierarchy) access(now clock.Cycles, ctx int, addr uint64, kind Kind) Re
 	l1.Stats.Accesses++
 	if idx := l1.lookup(lineAddr, lctx); idx >= 0 {
 		if kind == Store && l1.lines[idx].st == shared {
-			h.invalidateOtherL1s(lineAddr, corei)
+			hint := int(l1.lines[idx].llcHint)
+			h.invalidateOtherL1s(lineAddr, corei, hint)
 			l1.lines[idx].st = modified
+			if h.dir != nil {
+				h.dir.setOwner(hint, lineAddr, corei)
+			}
 		}
 		l1.touch(idx)
 		if l1.visible(idx, lctx) {
@@ -315,7 +343,7 @@ func (h *Hierarchy) access(now clock.Cycles, ctx int, addr uint64, kind Kind) Re
 		// First access at L1: send the request down, discard the response,
 		// then serve from the (unchanged) L1 copy.
 		l1.Stats.FirstAccess++
-		below := h.accessLLC(now, ctx, lineAddr, false)
+		below, _ := h.accessLLC(now, ctx, lineAddr, false)
 		l1.sec.OnFirstAccess(idx, lctx)
 		return Result{
 			Latency:     l1.cfg.Latency + below.Latency,
@@ -327,7 +355,7 @@ func (h *Hierarchy) access(now clock.Cycles, ctx int, addr uint64, kind Kind) Re
 
 	// Check the other cores' L1s for a dirty copy before going to the LLC.
 	snooped := h.snoopDirty(lineAddr, corei, kind)
-	below := h.accessLLC(now, ctx, lineAddr, true)
+	below, llcIdx := h.accessLLC(now, ctx, lineAddr, true)
 	level := below.Level
 	var extra uint64
 	if snooped && below.Level == 2 {
@@ -341,12 +369,16 @@ func (h *Hierarchy) access(now clock.Cycles, ctx int, addr uint64, kind Kind) Re
 
 	st := shared
 	if kind == Store {
-		h.invalidateOtherL1s(lineAddr, corei)
+		h.invalidateOtherL1s(lineAddr, corei, llcIdx)
 		st = modified
 	}
 	vic := l1.victim(lineAddr, lctx)
-	h.evictL1Line(l1, vic)
+	h.evictL1Line(l1, vic, corei, kind == Fetch)
 	l1.fill(vic, lineAddr, st, lctx, now)
+	if h.dir != nil {
+		l1.lines[vic].llcHint = int32(llcIdx)
+		h.dir.addAt(llcIdx, lineAddr, corei, kind == Fetch, st == modified)
+	}
 
 	if h.cfg.NextLinePrefetch {
 		h.prefetch(now, ctx, lineAddr+LineSize, kind)
@@ -374,27 +406,42 @@ func (h *Hierarchy) prefetch(now clock.Cycles, ctx int, lineAddr uint64, kind Ki
 	// to the requesting context.
 	llc := h.llc
 	llcCtx := h.llcCtx(ctx)
-	if idx := llc.lookup(lineAddr, llcCtx); idx < 0 {
+	llcIdx := llc.lookup(lineAddr, llcCtx)
+	if llcIdx < 0 {
 		vic := llc.victim(lineAddr, llcCtx)
 		if v := &llc.lines[vic]; v.st != invalid {
 			h.backInvalidate(v.tag)
 		}
+		if h.dir != nil {
+			h.dir.onLLCFill(vic, lineAddr)
+		}
 		llc.fill(vic, lineAddr, shared, llcCtx, now)
-	} else if llc.sec != nil && !llc.sec.Visible(idx, llcCtx) {
+		llcIdx = vic
+	} else if llc.sec != nil && !llc.sec.Visible(llcIdx, llcCtx) {
 		// A prefetch on the requester's behalf pays its first access here,
 		// invisibly to timing (the prefetcher waited for memory anyway).
 		llc.Stats.FirstAccess++
-		llc.sec.OnFirstAccess(idx, llcCtx)
+		llc.sec.OnFirstAccess(llcIdx, llcCtx)
 	}
 	vic := l1.victim(lineAddr, lctx)
-	h.evictL1Line(l1, vic)
+	h.evictL1Line(l1, vic, corei, kind == Fetch)
 	l1.fill(vic, lineAddr, shared, lctx, now)
+	if h.dir != nil {
+		l1.lines[vic].llcHint = int32(llcIdx)
+		h.dir.addAt(llcIdx, lineAddr, corei, kind == Fetch, false)
+	}
+	if h.cfg.CoherenceCheck {
+		h.verifyLine(lineAddr, "prefetch")
+	}
 }
 
 // accessLLC handles a request arriving at the LLC. fill controls whether a
 // miss allocates (false on the first-access descend path: the upper level
 // already holds the data, so the response is discarded and nothing fills).
-func (h *Hierarchy) accessLLC(now clock.Cycles, ctx int, lineAddr uint64, fill bool) Result {
+// The second return value is the LLC line index now holding lineAddr, or -1
+// on the no-fill miss path; callers attach directory state through it
+// without re-probing the set.
+func (h *Hierarchy) accessLLC(now clock.Cycles, ctx int, lineAddr uint64, fill bool) (Result, int) {
 	llc := h.llc
 	lctx := h.llcCtx(ctx)
 	llc.Stats.Accesses++
@@ -402,7 +449,7 @@ func (h *Hierarchy) accessLLC(now clock.Cycles, ctx int, lineAddr uint64, fill b
 		llc.touch(idx)
 		if llc.visible(idx, lctx) {
 			llc.Stats.Hits++
-			return Result{Latency: llc.cfg.Latency, Hit: true, Level: 2}
+			return Result{Latency: llc.cfg.Latency, Hit: true, Level: 2}, idx
 		}
 		// First access at the LLC: continue to memory, discard the data.
 		llc.Stats.FirstAccess++
@@ -411,28 +458,75 @@ func (h *Hierarchy) accessLLC(now clock.Cycles, ctx int, lineAddr uint64, fill b
 			Latency:     llc.cfg.Latency + h.cfg.DRAMLat,
 			FirstAccess: true,
 			Level:       3,
-		}
+		}, idx
 	}
 	llc.Stats.Misses++
 	lat := llc.cfg.Latency + h.cfg.DRAMLat
 	if !fill {
 		// Descend path with no LLC copy (inclusion was broken by a flush
 		// racing the request): just report the memory latency.
-		return Result{Latency: lat, Level: 3}
+		return Result{Latency: lat, Level: 3}, -1
 	}
 	vic := llc.victim(lineAddr, lctx)
 	if v := &llc.lines[vic]; v.st != invalid {
 		// Inclusive LLC: evicting a line removes it from every L1.
 		h.backInvalidate(v.tag)
 	}
+	if h.dir != nil {
+		h.dir.onLLCFill(vic, lineAddr)
+	}
 	llc.fill(vic, lineAddr, shared, lctx, now)
-	return Result{Latency: lat, Level: 3}
+	return Result{Latency: lat, Level: 3}, vic
 }
 
 // snoopDirty checks other cores' L1 caches for a modified copy of lineAddr.
 // On a load the remote copy is downgraded to shared (with writeback); on a
 // store it is invalidated. Returns whether a dirty forward occurred.
+//
+// With the sharer directory the dirty owner is read straight off the
+// line's entry — one lookup instead of probing every other core's L1D.
 func (h *Hierarchy) snoopDirty(lineAddr uint64, exceptCore int, kind Kind) bool {
+	if d := h.dir; d != nil {
+		// Per-set owned counter: a set with no dirty owners (the common case
+		// for loads over unshared data) rejects the snoop with one array
+		// load, no LLC probe.
+		if !d.mayHaveOwner(lineAddr) {
+			return false
+		}
+		e := d.find(lineAddr)
+		if e == nil || e.own == dirNoOwner {
+			return false
+		}
+		c := e.ownerCore()
+		if c == exceptCore {
+			// The requester's own L1D owns the line (an instruction fetch
+			// missing in the L1I); broadcast snooping skips the requesting
+			// core, so the directory path must too.
+			return false
+		}
+		l1 := h.l1d[c]
+		idx := l1.Probe(lineAddr)
+		if idx < 0 {
+			panic(fmt.Sprintf("cache: directory names core %d owner of line %#x but its L1D lacks it", c, lineAddr))
+		}
+		l1.Stats.Writebacks++
+		h.markLLCDirty(lineAddr)
+		if kind == Store {
+			l1.invalidate(idx)
+			e.data &^= uint64(1) << uint(c)
+			e.own = dirNoOwner
+			d.noteOwn(lineAddr, e, -1)
+			d.release(lineAddr, e)
+		} else {
+			l1.lines[idx].st = shared
+			e.own = dirNoOwner
+			d.noteOwn(lineAddr, e, -1)
+		}
+		if h.cfg.CoherenceCheck {
+			h.verifyLine(lineAddr, "snoopDirty")
+		}
+		return true
+	}
 	found := false
 	for c := 0; c < h.cfg.Cores; c++ {
 		if c == exceptCore {
@@ -453,31 +547,94 @@ func (h *Hierarchy) snoopDirty(lineAddr uint64, exceptCore int, kind Kind) bool 
 	return found
 }
 
+// invalidateL1Copy invalidates one cache's copy of lineAddr if resident,
+// writing a modified copy back into the LLC first. Shared helper of the
+// directory and broadcast invalidation paths so both have identical
+// counter and state effects.
+func (h *Hierarchy) invalidateL1Copy(l1 *Cache, lineAddr uint64) {
+	if idx := l1.Probe(lineAddr); idx >= 0 {
+		if l1.lines[idx].st == modified {
+			h.markLLCDirty(lineAddr)
+		}
+		l1.invalidate(idx)
+	}
+}
+
 // invalidateOtherL1s removes copies of lineAddr from every L1 except the
-// writing core's (the write-invalidate upgrade).
-func (h *Hierarchy) invalidateOtherL1s(lineAddr uint64, exceptCore int) {
+// writing core's (the write-invalidate upgrade). With the directory only
+// the set bits of the sharer masks are visited — O(sharers), and a line
+// nobody else caches costs one directory lookup. llcHint is the line's LLC
+// slot when the caller knows it (the writer's llcHint, or the index the
+// preceding accessLLC returned), or -1.
+func (h *Hierarchy) invalidateOtherL1s(lineAddr uint64, exceptCore, llcHint int) {
+	if d := h.dir; d != nil {
+		e := d.at(llcHint, lineAddr)
+		if e == nil {
+			return
+		}
+		keep := uint64(1) << uint(exceptCore)
+		for m := e.data &^ keep; m != 0; m &= m - 1 {
+			h.invalidateL1Copy(h.l1d[bits.TrailingZeros64(m)], lineAddr)
+		}
+		for m := e.inst &^ keep; m != 0; m &= m - 1 {
+			h.invalidateL1Copy(h.l1i[bits.TrailingZeros64(m)], lineAddr)
+		}
+		e.data &= keep
+		e.inst &= keep
+		if e.own != dirNoOwner && e.ownerCore() != exceptCore {
+			e.own = dirNoOwner
+			d.noteOwn(lineAddr, e, -1)
+		}
+		d.release(lineAddr, e)
+		if h.cfg.CoherenceCheck {
+			h.verifyLine(lineAddr, "invalidateOtherL1s")
+		}
+		return
+	}
 	for c := 0; c < h.cfg.Cores; c++ {
 		if c == exceptCore {
 			continue
 		}
-		for _, l1 := range []*Cache{h.l1d[c], h.l1i[c]} {
-			if idx := l1.Probe(lineAddr); idx >= 0 {
-				if l1.lines[idx].st == modified {
-					h.markLLCDirty(lineAddr)
-				}
-				l1.invalidate(idx)
-			}
-		}
+		h.invalidateL1Copy(h.l1d[c], lineAddr)
+		h.invalidateL1Copy(h.l1i[c], lineAddr)
 	}
 }
 
 // backInvalidate removes lineAddr from every L1 (inclusive LLC eviction).
 func (h *Hierarchy) backInvalidate(lineAddr uint64) {
-	for c := 0; c < h.cfg.Cores; c++ {
-		for _, l1 := range []*Cache{h.l1d[c], h.l1i[c]} {
-			if idx := l1.Probe(lineAddr); idx >= 0 {
-				l1.invalidate(idx)
+	if d := h.dir; d != nil {
+		e := d.find(lineAddr)
+		if e == nil {
+			return
+		}
+		for m := e.data; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
+			if idx := h.l1d[c].Probe(lineAddr); idx >= 0 {
+				h.l1d[c].invalidate(idx)
 			}
+		}
+		for m := e.inst; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
+			if idx := h.l1i[c].Probe(lineAddr); idx >= 0 {
+				h.l1i[c].invalidate(idx)
+			}
+		}
+		if e.own != dirNoOwner {
+			d.noteOwn(lineAddr, e, -1)
+		}
+		*e = dirEntry{}
+		d.release(lineAddr, e)
+		if h.cfg.CoherenceCheck {
+			h.verifyLine(lineAddr, "backInvalidate")
+		}
+		return
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		if idx := h.l1d[c].Probe(lineAddr); idx >= 0 {
+			h.l1d[c].invalidate(idx)
+		}
+		if idx := h.l1i[c].Probe(lineAddr); idx >= 0 {
+			h.l1i[c].invalidate(idx)
 		}
 	}
 }
@@ -488,10 +645,34 @@ func (h *Hierarchy) markLLCDirty(lineAddr uint64) {
 	}
 }
 
+// markLLCDirtyAt is markLLCDirty with a verified LLC slot hint.
+func (h *Hierarchy) markLLCDirtyAt(hint int, lineAddr uint64) {
+	if hint >= 0 && hint < len(h.llc.lines) {
+		if l := &h.llc.lines[hint]; l.st != invalid && l.tag == lineAddr {
+			l.dirty = true
+			return
+		}
+	}
+	h.markLLCDirty(lineAddr)
+}
+
 // evictL1Line handles displacement of an L1 line prior to a fill. A modified
-// line is written back into the LLC (marking it dirty there).
-func (h *Hierarchy) evictL1Line(l1 *Cache, idx int) {
+// line is written back into the LLC (marking it dirty there), and the
+// directory drops the vacating core's presence bit. The line's llcHint
+// makes both steps probe-free in the common (inclusion-intact) case.
+func (h *Hierarchy) evictL1Line(l1 *Cache, idx, corei int, inst bool) {
 	l := &l1.lines[idx]
+	if l.st == invalid {
+		return
+	}
+	if h.dir != nil {
+		hint := int(l.llcHint)
+		if l.st == modified {
+			h.markLLCDirtyAt(hint, l.tag)
+		}
+		h.dir.remove(hint, l.tag, corei, inst)
+		return
+	}
 	if l.st == modified {
 		h.markLLCDirty(l.tag)
 	}
@@ -503,11 +684,43 @@ func (h *Hierarchy) evictL1Line(l1 *Cache, idx int) {
 func (h *Hierarchy) Flush(now clock.Cycles, ctx int, addr uint64) uint64 {
 	lineAddr := addr &^ (LineSize - 1)
 	present, dirty := false, false
-	for c := 0; c < h.cfg.Cores; c++ {
-		for _, l1 := range []*Cache{h.l1d[c], h.l1i[c]} {
-			if idx := l1.Probe(lineAddr); idx >= 0 {
+	if d := h.dir; d != nil {
+		if e := d.find(lineAddr); e != nil {
+			for m := e.data; m != 0; m &= m - 1 {
+				c := bits.TrailingZeros64(m)
+				if idx := h.l1d[c].Probe(lineAddr); idx >= 0 {
+					present = true
+					if h.l1d[c].invalidate(idx) {
+						dirty = true
+					}
+				}
+			}
+			for m := e.inst; m != 0; m &= m - 1 {
+				c := bits.TrailingZeros64(m)
+				if idx := h.l1i[c].Probe(lineAddr); idx >= 0 {
+					present = true
+					if h.l1i[c].invalidate(idx) {
+						dirty = true
+					}
+				}
+			}
+			if e.own != dirNoOwner {
+				d.noteOwn(lineAddr, e, -1)
+			}
+			*e = dirEntry{}
+			d.release(lineAddr, e)
+		}
+	} else {
+		for c := 0; c < h.cfg.Cores; c++ {
+			if idx := h.l1d[c].Probe(lineAddr); idx >= 0 {
 				present = true
-				if l1.invalidate(idx) {
+				if h.l1d[c].invalidate(idx) {
+					dirty = true
+				}
+			}
+			if idx := h.l1i[c].Probe(lineAddr); idx >= 0 {
+				present = true
+				if h.l1i[c].invalidate(idx) {
 					dirty = true
 				}
 			}
@@ -518,6 +731,9 @@ func (h *Hierarchy) Flush(now clock.Cycles, ctx int, addr uint64) uint64 {
 		if h.llc.invalidate(idx) {
 			dirty = true
 		}
+	}
+	if h.cfg.CoherenceCheck {
+		h.verifyLine(lineAddr, "flush")
 	}
 	if h.cfg.ConstantTimeFlush {
 		return h.cfg.FlushBase + h.cfg.FlushPresentExtra + h.cfg.FlushDirtyExtra
@@ -533,13 +749,16 @@ func (h *Hierarchy) Flush(now clock.Cycles, ctx int, addr uint64) uint64 {
 }
 
 // FlushAll invalidates every line in every cache (the flush-on-switch
-// baseline defense).
+// baseline defense) and resets the sharer directory.
 func (h *Hierarchy) FlushAll() {
 	for c := 0; c < h.cfg.Cores; c++ {
 		h.l1i[c].FlushAll()
 		h.l1d[c].FlushAll()
 	}
 	h.llc.FlushAll()
+	if h.dir != nil {
+		h.dir.reset()
+	}
 }
 
 // CacheCtx pairs a cache with the local context index a global hardware

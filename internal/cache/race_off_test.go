@@ -1,0 +1,7 @@
+//go:build !race
+
+package cache
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// assertions are skipped under -race (see race_on_test.go).
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package cache
+
+// raceEnabled reports whether the race detector is active; race
+// instrumentation perturbs allocation counts, so alloc assertions skip.
+const raceEnabled = true

@@ -34,6 +34,10 @@ type Options struct {
 	GateLevel bool
 	// SliceCycles overrides the scheduler time slice.
 	SliceCycles uint64
+	// CoherenceCheck cross-checks the LLC sharer directory against a
+	// brute-force probe of every L1 on every coherence event (debug mode;
+	// slows runs by O(cores) per access).
+	CoherenceCheck bool
 	// Telemetry, when non-nil, attaches a telemetry collector to every run;
 	// configured output paths are suffixed with the workload label and mode
 	// so one config fans out over a whole sweep.
@@ -178,6 +182,7 @@ func buildMachine(mode cache.SecMode, cores int, opts Options, frames int) *kern
 	hcfg.Mode = mode
 	hcfg.LLCSize = opts.LLCSize
 	hcfg.Sec.GateLevel = opts.GateLevel
+	hcfg.CoherenceCheck = opts.CoherenceCheck
 	kcfg := kernel.DefaultConfig()
 	if opts.SliceCycles != 0 {
 		kcfg.SliceCycles = opts.SliceCycles
@@ -437,6 +442,7 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 		hcfg.Mode = cfgDef.mode
 		hcfg.LLCSize = opts.LLCSize
 		hcfg.Partitioned = cfgDef.partitioned
+		hcfg.CoherenceCheck = opts.CoherenceCheck
 		kcfg := kernel.DefaultConfig()
 		kcfg.FlushOnSwitch = cfgDef.flushOnSwitch
 		if opts.SliceCycles != 0 {

@@ -238,7 +238,6 @@ func (k *Kernel) Spawn(name string, proc sim.Proc, as *AddressSpace, coreID int)
 		AS:    as,
 		Proc:  proc,
 		State: Ready,
-		saved: map[*cache.Cache]core.SecVec{},
 	}
 	k.nextPID++
 	k.procs = append(k.procs, p)
@@ -315,12 +314,7 @@ func (k *Kernel) contextSwitch(c *coreState, out, in *Process) {
 			for _, cc := range c.secCaches {
 				// Reuse the process's saved-column buffer across switches;
 				// the first save on each cache allocates it once.
-				buf := out.saved[cc.Cache]
-				if buf == nil {
-					buf = make(core.SecVec, core.VecWords(cc.Cache.Lines()))
-					out.saved[cc.Cache] = buf
-				}
-				cc.Cache.Sec().SaveColumnInto(cc.LocalCtx, buf)
+				cc.Cache.Sec().SaveColumnInto(cc.LocalCtx, out.savedBuf(cc.Cache))
 			}
 			out.Ts = c.clock.Now()
 			out.everRan = true
@@ -330,7 +324,7 @@ func (k *Kernel) contextSwitch(c *coreState, out, in *Process) {
 			for _, cc := range c.secCaches {
 				var v core.SecVec
 				if in.everRan {
-					v = in.saved[cc.Cache]
+					v = in.savedFor(cc.Cache)
 				}
 				cc.Cache.Sec().RestoreColumn(cc.LocalCtx, v, in.Ts, now)
 			}

@@ -1,10 +1,6 @@
 package kernel
 
-import (
-	"fmt"
-
-	"timecache/internal/core"
-)
+import "fmt"
 
 // Migrate moves a ready or sleeping process to another logical CPU. The
 // TimeCache consequences mirror real hardware: the process's saved s-bit
@@ -39,12 +35,7 @@ func (k *Kernel) Migrate(p *Process, newCPU int) error {
 	// shared-cache (LLC) column follows the process.
 	if old.prev == p {
 		for _, cc := range old.secCaches {
-			buf := p.saved[cc.Cache]
-			if buf == nil {
-				buf = make(core.SecVec, core.VecWords(cc.Cache.Lines()))
-				p.saved[cc.Cache] = buf
-			}
-			cc.Cache.Sec().SaveColumnInto(cc.LocalCtx, buf)
+			cc.Cache.Sec().SaveColumnInto(cc.LocalCtx, p.savedBuf(cc.Cache))
 		}
 		p.Ts = old.clock.Now()
 		p.everRan = true
@@ -53,15 +44,19 @@ func (k *Kernel) Migrate(p *Process, newCPU int) error {
 	// Drop saved columns for caches the new CPU does not share: the
 	// restore on the new core would not find them anyway, but pruning
 	// keeps the software-side caching context honest (and bounded).
-	keep := map[interface{}]bool{}
-	for _, cc := range k.cores[newCPU].secCaches {
-		keep[cc.Cache] = true
-	}
-	for c := range p.saved {
-		if !keep[c] {
-			delete(p.saved, c)
+	kept := p.saved[:0]
+	for _, sc := range p.saved {
+		for _, cc := range k.cores[newCPU].secCaches {
+			if cc.Cache == sc.cache {
+				kept = append(kept, sc)
+				break
+			}
 		}
 	}
+	for i := len(kept); i < len(p.saved); i++ {
+		p.saved[i] = savedColumn{}
+	}
+	p.saved = kept
 	p.Core = newCPU
 	// The destination clock may trail the origin; the process's Ts must
 	// not be in the destination's future, or restored lines would be

@@ -62,8 +62,10 @@ type Process struct {
 	// ran restores an all-zero caching context.
 	everRan bool
 	// saved holds the process's s-bit column per cache, written at
-	// preemption and consumed at resumption.
-	saved map[*cache.Cache]core.SecVec
+	// preemption and consumed at resumption. A process saves columns for
+	// at most a handful of caches (its core's L1I/L1D plus shared levels),
+	// so a linearly scanned slice beats a map on the switch path.
+	saved []savedColumn
 
 	// ExitCode is the SysExit argument (VM programs) or 0.
 	ExitCode uint64
@@ -76,6 +78,36 @@ type Process struct {
 	// version changes).
 	tlb    [tlbEntries]tlbEntry
 	tlbVer uint64
+}
+
+// savedColumn pairs a cache with the process's saved s-bit column for it.
+type savedColumn struct {
+	cache *cache.Cache
+	buf   core.SecVec
+}
+
+// savedBuf returns the process's saved-column buffer for c, allocating it on
+// the first save against that cache and reusing it thereafter.
+func (p *Process) savedBuf(c *cache.Cache) core.SecVec {
+	for i := range p.saved {
+		if p.saved[i].cache == c {
+			return p.saved[i].buf
+		}
+	}
+	buf := make(core.SecVec, core.VecWords(c.Lines()))
+	p.saved = append(p.saved, savedColumn{cache: c, buf: buf})
+	return buf
+}
+
+// savedFor returns the process's saved column for c, or nil if it has never
+// been saved against that cache.
+func (p *Process) savedFor(c *cache.Cache) core.SecVec {
+	for i := range p.saved {
+		if p.saved[i].cache == c {
+			return p.saved[i].buf
+		}
+	}
+	return nil
 }
 
 type tlbEntry struct {

@@ -47,8 +47,11 @@ func New(kind Kind, sets, ways int, seed uint64) (Policy, error) {
 	}
 }
 
-// lru implements true least-recently-used via per-set age stamps.
-type lru struct {
+// LRUPolicy implements true least-recently-used via per-set age stamps.
+// The concrete type is exported so hot callers (the cache lookup path) can
+// devirtualize Touch — a direct, inlinable call instead of an interface
+// dispatch per hit.
+type LRUPolicy struct {
 	ways  int
 	ages  []uint64 // sets*ways age stamps
 	ticks []uint64 // per-set logical clock
@@ -57,17 +60,20 @@ type lru struct {
 // NewLRU returns a true LRU policy.
 func NewLRU(sets, ways int) Policy {
 	checkGeom(sets, ways)
-	return &lru{ways: ways, ages: make([]uint64, sets*ways), ticks: make([]uint64, sets)}
+	return &LRUPolicy{ways: ways, ages: make([]uint64, sets*ways), ticks: make([]uint64, sets)}
 }
 
-func (l *lru) Name() string { return string(LRU) }
+// Name implements Policy.
+func (l *LRUPolicy) Name() string { return string(LRU) }
 
-func (l *lru) Touch(set, way int) {
+// Touch implements Policy.
+func (l *LRUPolicy) Touch(set, way int) {
 	l.ticks[set]++
 	l.ages[set*l.ways+way] = l.ticks[set]
 }
 
-func (l *lru) Victim(set int) int {
+// Victim implements Policy.
+func (l *LRUPolicy) Victim(set int) int {
 	base := set * l.ways
 	victim, oldest := 0, l.ages[base]
 	for w := 1; w < l.ways; w++ {

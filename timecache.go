@@ -100,6 +100,10 @@ type Config struct {
 	// RandomizedIndex enables CEASER-lite LLC index randomization with the
 	// given nonzero key.
 	RandomizedIndex uint64
+	// CoherenceCheck cross-checks the LLC sharer directory against a
+	// brute-force probe of every L1 on every coherence event, panicking on
+	// divergence (debug mode; costs O(cores) per access).
+	CoherenceCheck bool
 	// SliceCycles overrides the scheduler time slice (default 200k cycles).
 	SliceCycles uint64
 	// PhysFrames sizes physical memory (default 32768 frames = 128 MB).
@@ -143,6 +147,7 @@ func New(cfg Config) (*System, error) {
 	hcfg.ConstantTimeFlush = cfg.ConstantTimeFlush
 	hcfg.Partitioned = cfg.Partitioned
 	hcfg.IndexRand = cfg.RandomizedIndex
+	hcfg.CoherenceCheck = cfg.CoherenceCheck
 	kcfg := kernel.DefaultConfig()
 	if cfg.SliceCycles != 0 {
 		kcfg.SliceCycles = cfg.SliceCycles
