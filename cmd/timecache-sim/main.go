@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"timecache"
+	"timecache/internal/machine"
 	"timecache/internal/runner"
 	"timecache/internal/stats"
 	"timecache/internal/telemetry"
@@ -109,7 +110,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cycles, st, col, err := runOnce(mode, *workloads, *instrs, *llc, *cores, *gate, *cohCheck, tcfg, telemetryOn)
+	cycles, st, col, err := runOnce(nil, mode, *workloads, *instrs, *llc, *cores, *gate, *cohCheck, tcfg, telemetryOn)
 	if err != nil {
 		fatal(err)
 	}
@@ -147,8 +148,8 @@ func expand(list string) []string {
 	return out
 }
 
-func runOnce(mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry bool) (uint64, timecache.Stats, *telemetry.Collector, error) {
-	sys, err := timecache.New(timecache.Config{
+func runOnce(pool *machine.Pool, mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry bool) (uint64, timecache.Stats, *telemetry.Collector, error) {
+	sys, err := timecache.NewFromPool(pool, timecache.Config{
 		Mode: mode, LLCSize: llc, Cores: cores, GateLevel: gate,
 		CoherenceCheck: cohCheck,
 	})
@@ -216,8 +217,10 @@ func sizeLabel(n int) string {
 }
 
 // runLLCSweep runs baseline and timecache legs of the given workload mix at
-// each LLC size, fanning the independent runs out across -j workers. Every
-// run builds its own machine, so the table is byte-identical at any -j.
+// each LLC size, fanning the independent runs out across -j workers. Each
+// worker keeps a machine.Pool so legs with the same shape reuse one Reset
+// machine; a reset machine is indistinguishable from a fresh one, so the
+// table is byte-identical at any -j.
 func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate, cohCheck bool, jobs int) error {
 	var sizes []int
 	for _, f := range strings.Split(sweep, ",") {
@@ -236,9 +239,9 @@ func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate, cohChe
 	// One job per (size, mode) leg; leg order is fixed so results regroup
 	// deterministically.
 	modes := []timecache.Mode{timecache.Baseline, timecache.TimeCache}
-	cycles, err := runner.Map(len(sizes)*len(modes), runner.Options{Workers: jobs}, func(i int) (uint64, error) {
+	cycles, err := runner.MapWorkers(len(sizes)*len(modes), runner.Options{Workers: jobs}, machine.NewPool, func(pool *machine.Pool, i int) (uint64, error) {
 		size, mode := sizes[i/len(modes)], modes[i%len(modes)]
-		c, _, _, err := runOnce(mode, workloads, instrs, size, cores, gate, cohCheck, telemetry.Config{}, false)
+		c, _, _, err := runOnce(pool, mode, workloads, instrs, size, cores, gate, cohCheck, telemetry.Config{}, false)
 		return c, err
 	})
 	if err != nil {
@@ -256,11 +259,11 @@ func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate, cohChe
 }
 
 func runCompare(workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry, showHist bool) error {
-	bCycles, _, _, err := runOnce(timecache.Baseline, workloads, instrs, llc, cores, gate, cohCheck, telemetry.Config{}, false)
+	bCycles, _, _, err := runOnce(nil, timecache.Baseline, workloads, instrs, llc, cores, gate, cohCheck, telemetry.Config{}, false)
 	if err != nil {
 		return err
 	}
-	tCycles, st, col, err := runOnce(timecache.TimeCache, workloads, instrs, llc, cores, gate, cohCheck, tcfg, withTelemetry)
+	tCycles, st, col, err := runOnce(nil, timecache.TimeCache, workloads, instrs, llc, cores, gate, cohCheck, tcfg, withTelemetry)
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,7 @@
 //
 //	trace-tool record -workload gobmk -instrs 100000 -o gobmk.trace
 //	trace-tool info   -i gobmk.trace
-//	trace-tool replay -i gobmk.trace -mode timecache
+//	trace-tool replay -i gobmk.trace -mode timecache -llc 1048576
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"timecache/internal/cache"
 	"timecache/internal/kernel"
+	"timecache/internal/machine"
 	"timecache/internal/mem"
 	"timecache/internal/stats"
 	"timecache/internal/trace"
@@ -43,12 +44,21 @@ func main() {
 	}
 }
 
-func machine(mode cache.SecMode) *kernel.Kernel {
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Mode = mode
-	hier := cache.NewHierarchy(hcfg)
-	phys := mem.NewPhysical(16384, hcfg.DRAMLat)
-	return kernel.New(kernel.DefaultConfig(), hier, phys)
+// machineFlags registers the machine-shape flags shared by record and
+// replay and returns a builder that assembles the configured machine.
+func machineFlags(fs *flag.FlagSet) func(mode cache.SecMode) *kernel.Kernel {
+	frames := fs.Int("frames", 16384, "physical memory frames (64 MB default)")
+	llc := fs.Int("llc", 0, "LLC size in bytes (0 = paper default, 2 MB)")
+	slice := fs.Uint64("slice", 0, "scheduler time slice in cycles (0 = default)")
+	return func(mode cache.SecMode) *kernel.Kernel {
+		m := machine.New(machine.Config{
+			Mode:        mode,
+			LLCSize:     *llc,
+			SliceCycles: *slice,
+			PhysFrames:  *frames,
+		})
+		return m.Kernel()
+	}
 }
 
 func record(args []string) error {
@@ -57,6 +67,7 @@ func record(args []string) error {
 	instrs := fs.Uint64("instrs", 100_000, "instructions to record")
 	seed := fs.Uint64("seed", 7, "workload seed")
 	out := fs.String("o", "workload.trace", "output trace file")
+	build := machineFlags(fs)
 	fs.Parse(args)
 
 	prof, err := workload.Spec(*name)
@@ -69,7 +80,7 @@ func record(args []string) error {
 	}
 	defer f.Close()
 
-	k := machine(cache.SecOff)
+	k := build(cache.SecOff)
 	as, err := workload.BuildSharedAS(k, prof)
 	if err != nil {
 		return err
@@ -127,6 +138,7 @@ func replay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("i", "workload.trace", "trace file")
 	modeFlag := fs.String("mode", "timecache", "baseline | timecache | ftm")
+	build := machineFlags(fs)
 	fs.Parse(args)
 
 	var mode cache.SecMode
@@ -150,7 +162,7 @@ func replay(args []string) error {
 		return err
 	}
 
-	k := machine(mode)
+	k := build(mode)
 	// Replay into a flat identity-mapped space big enough for the trace's
 	// addresses: map every page the trace touches.
 	as := kernel.NewAddressSpace(k.Physical())

@@ -1,0 +1,161 @@
+package timecache_test
+
+// Golden experiment tests: a small Table-II slice and an LLC-sweep point are
+// rendered with exactly the formatting cmd/reproduce uses and diffed
+// byte-for-byte against checked-in files under results/golden/. They guard
+// the "structural, not semantic" claim: any refactor of the machine assembly
+// or the per-access request path that changes simulated timing — or the
+// determinism of the parallel runner — fails these tests.
+//
+// Regenerate with:
+//
+//	go test -run Golden -update-golden .
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"timecache/internal/harness"
+	"timecache/internal/runner"
+	"timecache/internal/stats"
+	"timecache/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite results/golden files from this run")
+
+// goldenOpts keeps the runs small enough for CI while still crossing the
+// warmup boundary and several context switches per process.
+func goldenOpts(jobs int) harness.Options {
+	return harness.Options{
+		InstrsPerProc: 60_000,
+		WarmupInstrs:  40_000,
+		Jobs:          jobs,
+	}
+}
+
+// goldenJobs are the worker counts the golden artifacts must agree across.
+var goldenJobs = []int{1, 8}
+
+// slicePairs is the Table-II slice: two same-benchmark pairs and one mix.
+func slicePairs(t *testing.T) []workload.Pair {
+	t.Helper()
+	want := map[string]bool{"2Xlbm": true, "2Xgobmk": true, "leslie+gobmk": true}
+	var out []workload.Pair
+	for _, p := range workload.SpecPairs() {
+		if want[p.Label] {
+			out = append(out, p)
+		}
+	}
+	if len(out) != len(want) {
+		t.Fatalf("golden: found %d of %d slice pairs", len(out), len(want))
+	}
+	return out
+}
+
+// tableIISlice runs the slice through the parallel runner and renders it in
+// cmd/reproduce's table2 format.
+func tableIISlice(t *testing.T, jobs int) *stats.Table {
+	t.Helper()
+	pairs := slicePairs(t)
+	opts := goldenOpts(jobs)
+	rows, err := runner.Map(len(pairs), runner.Options{Workers: jobs}, func(i int) (harness.PairResult, error) {
+		return harness.RunSpecPair(pairs[i], opts)
+	})
+	if err != nil {
+		t.Fatalf("golden: table2 slice: %v", err)
+	}
+	tab := stats.NewTable("workload", "normalized", "mpki-base", "mpki-tc", "fa-l1i", "fa-l1d", "fa-llc")
+	for _, r := range rows {
+		tab.Add(r.Label, r.Normalized, r.MPKIBase, r.MPKITC,
+			r.FirstAccess.L1I, r.FirstAccess.L1D, r.FirstAccess.LLC)
+	}
+	return tab
+}
+
+// llcSweepPoint runs one Fig. 10 point (two pairs at 1 MB) and renders it in
+// cmd/reproduce's fig10 format.
+func llcSweepPoint(t *testing.T, jobs int) *stats.Table {
+	t.Helper()
+	var pairs []workload.Pair
+	for _, p := range workload.SpecPairs() {
+		if p.Label == "2Xnamd" || p.Label == "2Xmilc" {
+			pairs = append(pairs, p)
+		}
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("golden: found %d of 2 sweep pairs", len(pairs))
+	}
+	pts, err := harness.RunLLCSensitivity([]int{1 << 20}, pairs, goldenOpts(jobs))
+	if err != nil {
+		t.Fatalf("golden: llc sweep: %v", err)
+	}
+	tab := stats.NewTable("llc", "geomean-normalized", "overhead-pct")
+	for _, p := range pts {
+		tab.Add(fmt.Sprintf("%dKB", p.LLCSize>>10), p.GeoMeanNorm, p.OverheadPct)
+	}
+	return tab
+}
+
+// checkGolden diffs got against results/golden/<name>, rewriting the file
+// under -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("results", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: %v (regenerate with -update-golden)", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("golden: %s diverged from checked-in artifact\n--- want ---\n%s--- got ---\n%s", name, want, got)
+	}
+}
+
+func TestGoldenTableIISlice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var first *stats.Table
+	for _, jobs := range goldenJobs {
+		tab := tableIISlice(t, jobs)
+		if first == nil {
+			first = tab
+			checkGolden(t, "table2_slice.csv", []byte(tab.CSV()))
+			checkGolden(t, "table2_slice.md", []byte(tab.Markdown()))
+			continue
+		}
+		if tab.CSV() != first.CSV() {
+			t.Errorf("golden: table2 slice differs between -j%d and -j%d", goldenJobs[0], jobs)
+		}
+	}
+}
+
+func TestGoldenLLCSweepPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var first *stats.Table
+	for _, jobs := range goldenJobs {
+		tab := llcSweepPoint(t, jobs)
+		if first == nil {
+			first = tab
+			checkGolden(t, "llc_sweep.csv", []byte(tab.CSV()))
+			checkGolden(t, "llc_sweep.md", []byte(tab.Markdown()))
+			continue
+		}
+		if tab.CSV() != first.CSV() {
+			t.Errorf("golden: llc sweep differs between -j%d and -j%d", goldenJobs[0], jobs)
+		}
+	}
+}

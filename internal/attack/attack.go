@@ -13,6 +13,7 @@ import (
 
 	"timecache/internal/cache"
 	"timecache/internal/kernel"
+	"timecache/internal/machine"
 	"timecache/internal/mem"
 	"timecache/internal/sim"
 )
@@ -25,19 +26,17 @@ type Machine struct {
 // NewMachine builds a simulated machine with the given hierarchy mode and
 // core count, using the paper's default geometry.
 func NewMachine(mode cache.SecMode, cores int) *Machine {
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Cores = cores
-	hcfg.Mode = mode
-	return NewMachineConfig(hcfg, kernel.DefaultConfig())
+	return NewMachineConfig(machine.Config{Mode: mode, Cores: cores})
 }
 
-// NewMachineConfig builds a machine from explicit configurations.
-func NewMachineConfig(hcfg cache.HierarchyConfig, kcfg kernel.Config) *Machine {
-	hier := cache.NewHierarchy(hcfg)
-	// Frame budget: LLC working sets plus eviction sets plus slack.
-	frames := 4096 + 4*hcfg.LLCSize/mem.PageSize
-	phys := mem.NewPhysical(frames, hcfg.DRAMLat)
-	return &Machine{K: kernel.New(kcfg, hier, phys)}
+// NewMachineConfig assembles a machine from the given configuration. When
+// cfg.PhysFrames is zero it applies the attack frame budget — LLC working
+// sets plus eviction sets plus slack — instead of the machine default.
+func NewMachineConfig(cfg machine.Config) *Machine {
+	if cfg.PhysFrames == 0 {
+		cfg.PhysFrames = 4096 + 4*cfg.HierarchyConfig().LLCSize/mem.PageSize
+	}
+	return &Machine{K: machine.New(cfg).Kernel()}
 }
 
 // HitThreshold returns the latency below which a load is classified as a

@@ -5,6 +5,7 @@ import (
 
 	"timecache/internal/cache"
 	"timecache/internal/kernel"
+	"timecache/internal/machine"
 	"timecache/internal/replacement"
 	"timecache/internal/sim"
 )
@@ -310,10 +311,7 @@ func TestSpectreCovertChannel(t *testing.T) {
 
 func TestDiscoverEvictionSetByTiming(t *testing.T) {
 	// Use a small LLC so the timing-only group reduction stays fast.
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.L1Size = 4 << 10
-	hcfg.LLCSize = 64 << 10 // 64 sets x 16 ways
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(machine.Config{L1Size: 4 << 10, LLCSize: 64 << 10}) // 64 sets x 16 ways
 	as := kernel.NewAddressSpace(m.K.Physical())
 	if err := as.MapAnon(0x7000_0000, 4096, true); err != nil {
 		t.Fatal(err)
@@ -358,10 +356,7 @@ func TestLimitedPointerTrackerStillDefends(t *testing.T) {
 	// The §VI-C limited-pointer area optimization must not weaken the
 	// defense: the RSA attack observes zero hits with a 1-slot tracker too
 	// (overflow only ever removes visibility).
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Mode = cache.SecTimeCache
-	hcfg.Sec.MaxSharers = 1
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(machine.Config{Mode: cache.SecTimeCache, MaxSharers: 1})
 	_ = m // machine construction checked; run the standard attack path below
 
 	base, err := RunRSALimited(cache.SecTimeCache, 1, 48, 5)
@@ -408,10 +403,7 @@ func TestHolisticDefenseComposition(t *testing.T) {
 	const bits = 24
 
 	// Reuse attack against the composed defense: still zero hits.
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Mode = cache.SecTimeCache
-	hcfg.IndexRand = 0xFEED
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(machine.Config{Mode: cache.SecTimeCache, RandomizedIndex: 0xFEED})
 	rsaRes, err := runRSAOn(m, bits, 11)
 	if err != nil {
 		t.Fatal(err)
@@ -446,10 +438,7 @@ func TestFTMDefendsCrossCoreOnly(t *testing.T) {
 		t.Fatalf("undefended cross-context attack should work, accuracy %.2f", base.Accuracy)
 	}
 	// Same placement on separate CORES under FTM: cross-core reuse blocked.
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Cores = 2
-	hcfg.Mode = cache.SecFTM
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(machine.Config{Mode: cache.SecFTM, Cores: 2})
 	asA, err := m.MapSharedAt("ftmx", cache.LineSize)
 	if err != nil {
 		t.Fatal(err)

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"timecache/internal/cache"
-	"timecache/internal/kernel"
+	"timecache/internal/machine"
 	"timecache/internal/rsa"
 	"timecache/internal/sim"
 )
@@ -284,10 +284,7 @@ func RunEvictReload(mode cache.SecMode, keyBits int, seed uint64) (RSAResult, er
 // area optimization) configured with maxSharers slots per line, used to
 // verify the optimization preserves the defense.
 func RunRSALimited(mode cache.SecMode, maxSharers, keyBits int, seed uint64) (RSAResult, error) {
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Mode = mode
-	hcfg.Sec.MaxSharers = maxSharers
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(machine.Config{Mode: mode, MaxSharers: maxSharers})
 	return runRSAOn(m, keyBits, seed)
 }
 

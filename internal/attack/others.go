@@ -5,6 +5,7 @@ import (
 
 	"timecache/internal/cache"
 	"timecache/internal/kernel"
+	"timecache/internal/machine"
 	"timecache/internal/replacement"
 	"timecache/internal/sim"
 )
@@ -104,10 +105,7 @@ func (a *flushFlushAttacker) Step(env sim.Env) bool {
 // constantTimeFlush mitigation (a fixed-latency clflush with dummy
 // writeback, as the paper suggests) does.
 func RunFlushFlush(mode cache.SecMode, constantTimeFlush bool, nbits int, seed uint64) (SecretResult, error) {
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Mode = mode
-	hcfg.ConstantTimeFlush = constantTimeFlush
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(machine.Config{Mode: mode, ConstantTimeFlush: constantTimeFlush})
 
 	asA, err := m.MapSharedAt("ff", cache.LineSize)
 	if err != nil {
@@ -183,12 +181,11 @@ func (a *primeProbeAttacker) Step(env sim.Env) bool {
 // attacker's architecturally-constructed eviction set no longer maps to a
 // single set.
 func RunPrimeProbe(mode cache.SecMode, randomizeIndex bool, nbits int, seed uint64) (SecretResult, error) {
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Mode = mode
+	mcfg := machine.Config{Mode: mode}
 	if randomizeIndex {
-		hcfg.IndexRand = 0xC0FFEE
+		mcfg.RandomizedIndex = 0xC0FFEE
 	}
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(mcfg)
 	llc := m.K.Hierarchy().LLC()
 
 	asA := kernel.NewAddressSpace(m.K.Physical())
@@ -288,11 +285,7 @@ func RunLRU(mode cache.SecMode, policy replacement.Kind, nbits int, seed uint64)
 	if _, err := replacement.New(policy, 1, 2, 0); err != nil {
 		return SecretResult{}, err
 	}
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Mode = mode
-	hcfg.Policy = policy
-	hcfg.PolicySeed = seed + 1
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(machine.Config{Mode: mode, Policy: policy, PolicySeed: seed + 1})
 	l1d := m.K.Hierarchy().L1D(0)
 
 	asA, err := m.MapSharedAt("lru", cache.LineSize)
@@ -315,6 +308,7 @@ func RunLRU(mode cache.SecMode, policy replacement.Kind, nbits int, seed uint64)
 	secret := secretBits(nbits, seed)
 	// The channel is L1 eviction: an L1 hit (L1Lat) must be separated from
 	// an L1 miss served by the LLC, so the threshold sits between the two.
+	hcfg := m.K.Hierarchy().Config()
 	l1Threshold := hcfg.L1Lat + hcfg.LLCLat/2
 	att := &lruAttacker{shared: sharedBase, evict: evict, rounds: nbits, threshold: l1Threshold}
 	vic := &bitVictim{bits: secret, action: func(env sim.Env, bit bool) {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"timecache/internal/cache"
-	"timecache/internal/kernel"
+	"timecache/internal/machine"
 	"timecache/internal/sim"
 )
 
@@ -14,11 +14,7 @@ import (
 // this placement: per-hardware-context s-bits deny the attacker reuse hits
 // even on the same physical core, with no context switches involved.
 func RunSMT(mode cache.SecMode, nbits int, seed uint64) (SecretResult, error) {
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Cores = 1
-	hcfg.ThreadsPerCore = 2
-	hcfg.Mode = mode
-	m := NewMachineConfig(hcfg, kernel.DefaultConfig())
+	m := NewMachineConfig(machine.Config{Mode: mode, Cores: 1, ThreadsPerCore: 2})
 
 	asA, err := m.MapSharedAt("smt", cache.LineSize)
 	if err != nil {

@@ -30,9 +30,10 @@ type Kind int
 
 // Access kinds.
 const (
-	Fetch Kind = iota // instruction fetch (L1I)
-	Load              // data read (L1D)
-	Store             // data write (L1D)
+	Fetch   Kind = iota // instruction fetch (L1I)
+	Load                // data read (L1D)
+	Store               // data write (L1D)
+	FlushOp             // clflush (only appears on Request trails, never Access)
 )
 
 func (k Kind) String() string {
@@ -43,6 +44,8 @@ func (k Kind) String() string {
 		return "load"
 	case Store:
 		return "store"
+	case FlushOp:
+		return "flush"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -345,6 +348,21 @@ func (c *Cache) fill(idx int, lineAddr uint64, st state, ctx int, now clock.Cycl
 	if c.sec != nil {
 		c.sec.OnFill(idx, ctx, now)
 	}
+}
+
+// Reset returns the cache to its freshly constructed cold state — all lines
+// invalid, replacement and MRU state cleared, stats and TimeCache metadata
+// zeroed — without reallocating any backing array. A zeroed line is exactly
+// a fresh one (invalid state, llcHint 0 is "no hint" because consumers
+// verify tags before trusting it).
+func (c *Cache) Reset() {
+	clear(c.lines)
+	clear(c.mru)
+	c.pol.Reset()
+	if c.sec != nil {
+		c.sec.Reset()
+	}
+	c.Stats = Stats{}
 }
 
 // FlushAll invalidates every line (the flush-on-context-switch baseline).

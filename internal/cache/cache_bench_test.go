@@ -5,7 +5,6 @@ import (
 	"math/bits"
 	"testing"
 
-	"timecache/internal/clock"
 	"timecache/internal/core"
 )
 
@@ -49,10 +48,10 @@ type histObserver struct {
 	buckets [65]uint64
 }
 
-func (o *histObserver) ObserveAccess(now clock.Cycles, ctx int, addr uint64, kind Kind, res Result) {
+func (o *histObserver) ObserveAccess(r *Request) {
 	o.count++
-	o.sum += res.Latency
-	o.buckets[bits.Len64(res.Latency)]++
+	o.sum += r.Latency
+	o.buckets[bits.Len64(r.Latency)]++
 }
 
 // BenchmarkAccessTelemetryDisabled is the nil-probe baseline for the
@@ -207,6 +206,63 @@ func BenchmarkStoreUpgrade(b *testing.B) {
 				h.Access(uint64(i), 0, addr, Store)
 			}
 		})
+	}
+}
+
+// BenchmarkServeTrail measures the steady-state request path the kernel
+// actually drives: a long-lived Request (one per hardware context, like
+// coreState.req) served repeatedly with the full response trail filled in
+// and an observer attached. Must run at 0 allocs/op — the trail is written
+// in place, never boxed (TestServeZeroAlloc asserts it).
+func BenchmarkServeTrail(b *testing.B) {
+	run := func(b *testing.B, mode SecMode, withObs bool, addr func(i int) uint64) {
+		cfg := DefaultHierarchyConfig()
+		cfg.Mode = mode
+		h := NewHierarchy(cfg)
+		obs := &histObserver{}
+		if withObs {
+			h.SetObserver(obs)
+		}
+		r := new(Request)
+		r.Ctx, r.Kind = 0, Load
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Now, r.Addr = uint64(i), addr(i)
+			h.Serve(r)
+		}
+		if withObs && obs.count == 0 {
+			b.Fatal("observer never fired")
+		}
+	}
+	hit := func(int) uint64 { return 0x1000 }
+	miss := func(i int) uint64 { return uint64(i) * LineSize }
+	b.Run("l1hit", func(b *testing.B) { run(b, SecOff, false, hit) })
+	b.Run("l1hit-observed", func(b *testing.B) { run(b, SecOff, true, hit) })
+	b.Run("l1hit-timecache", func(b *testing.B) { run(b, SecTimeCache, false, hit) })
+	b.Run("streammiss-observed", func(b *testing.B) { run(b, SecOff, true, miss) })
+}
+
+// TestServeZeroAlloc pins the Request path's allocation behavior: serving
+// through a long-lived Request must not allocate, on hits or misses, with
+// or without an observer installed. A regression here (e.g. the Request
+// escaping into the observer interface) would cost an allocation on every
+// simulated memory access.
+func TestServeZeroAlloc(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.Mode = SecTimeCache
+	h := NewHierarchy(cfg)
+	h.SetObserver(&histObserver{})
+	r := new(Request)
+	r.Ctx, r.Kind = 0, Load
+	var i uint64
+	allocs := testing.AllocsPerRun(10_000, func() {
+		i++
+		r.Now, r.Addr = i, (i%4096)*LineSize
+		h.Serve(r)
+	})
+	if allocs != 0 {
+		t.Fatalf("Serve allocated %.1f times per access, want 0", allocs)
 	}
 }
 

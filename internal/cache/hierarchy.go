@@ -145,12 +145,14 @@ type Result struct {
 	Level int
 }
 
-// Observer receives one callback per completed memory access. It is the
-// hierarchy's telemetry hook: when no observer is installed the Access hot
-// path pays only a single nil check (see BenchmarkAccessTelemetryDisabled).
-// Implementations run synchronously inside Access and must be fast.
+// Observer receives one callback per completed memory access, with the full
+// request trail. It is the hierarchy's telemetry hook: when no observer is
+// installed the Serve hot path pays only a single nil check (see
+// BenchmarkAccessTelemetryDisabled). Implementations run synchronously
+// inside Serve, must be fast, and must not retain r past the call — the
+// Request is reused for the next access.
 type Observer interface {
-	ObserveAccess(now clock.Cycles, ctx int, addr uint64, kind Kind, res Result)
+	ObserveAccess(r *Request)
 }
 
 // Hierarchy is a multi-core cache hierarchy with a shared inclusive LLC.
@@ -166,10 +168,17 @@ type Hierarchy struct {
 	// activeDomain is each core's current security domain (partitioned
 	// mode); the OS updates it at context switches.
 	activeDomain []int
+	// scratch backs the Access/Flush compatibility wrappers: a long-lived
+	// Request so callers without their own (tests, attack harnesses) still
+	// pay zero allocations per access.
+	scratch Request
 }
 
 // SetObserver installs (or, with nil, removes) the access observer.
 func (h *Hierarchy) SetObserver(o Observer) { h.obs = o }
+
+// Observer returns the installed access observer, nil when detached.
+func (h *Hierarchy) Observer() Observer { return h.obs }
 
 // SetActiveDomain records the security domain of the process now running
 // on a core; cache partitioning confines its fills and lookups to that
@@ -304,88 +313,103 @@ func (h *Hierarchy) llcCtx(ctx int) int {
 }
 
 // Access performs one memory access by global hardware context ctx at the
-// line containing addr, at simulation time now.
+// line containing addr, at simulation time now. It is a compatibility
+// wrapper over Serve using the hierarchy's scratch Request; callers that
+// want the full trail (or already own a Request) use Serve directly.
 func (h *Hierarchy) Access(now clock.Cycles, ctx int, addr uint64, kind Kind) Result {
-	res := h.access(now, ctx, addr, kind)
-	if h.cfg.CoherenceCheck {
-		h.verifyLine(addr&^(LineSize-1), "access")
-	}
-	if h.obs != nil {
-		h.obs.ObserveAccess(now, ctx, addr, kind, res)
-	}
-	return res
+	r := &h.scratch
+	r.Now, r.Ctx, r.Addr, r.Kind = now, ctx, addr, kind
+	h.Serve(r)
+	return r.Result()
 }
 
-func (h *Hierarchy) access(now clock.Cycles, ctx int, addr uint64, kind Kind) Result {
-	lineAddr := addr &^ (LineSize - 1)
-	corei := h.CoreOf(ctx)
+// Serve performs the memory access described by r's input fields (Now, Ctx,
+// Addr, Kind), filling r's response trail in place. The observer, if any,
+// sees the completed trail once per access.
+func (h *Hierarchy) Serve(r *Request) {
+	r.beginTrail()
+	h.serve(r)
+	if h.cfg.CoherenceCheck {
+		h.verifyLine(r.Addr&^(LineSize-1), "access")
+	}
+	if h.obs != nil {
+		h.obs.ObserveAccess(r)
+	}
+}
+
+func (h *Hierarchy) serve(r *Request) {
+	lineAddr := r.Addr &^ (LineSize - 1)
+	corei := h.CoreOf(r.Ctx)
 	l1 := h.l1d[corei]
-	if kind == Fetch {
+	if r.Kind == Fetch {
 		l1 = h.l1i[corei]
 	}
-	lctx := h.threadOf(ctx)
+	lctx := h.threadOf(r.Ctx)
 
 	l1.Stats.Accesses++
 	if idx := l1.lookup(lineAddr, lctx); idx >= 0 {
-		if kind == Store && l1.lines[idx].st == shared {
+		if r.Kind == Store && l1.lines[idx].st == shared {
 			hint := int(l1.lines[idx].llcHint)
 			h.invalidateOtherL1s(lineAddr, corei, hint)
 			l1.lines[idx].st = modified
 			if h.dir != nil {
 				h.dir.setOwner(hint, lineAddr, corei)
 			}
+			r.Upgrade = true
 		}
 		l1.touch(idx)
 		if l1.visible(idx, lctx) {
 			l1.Stats.Hits++
-			return Result{Latency: l1.cfg.Latency, Hit: true, Level: 1}
+			r.L1 = LevelTrail{OutcomeHit, l1.cfg.Latency}
+			r.Latency = l1.cfg.Latency
+			r.Hit = true
+			r.Level = 1
+			return
 		}
 		// First access at L1: send the request down, discard the response,
 		// then serve from the (unchanged) L1 copy.
 		l1.Stats.FirstAccess++
-		below, _ := h.accessLLC(now, ctx, lineAddr, false)
+		r.L1 = LevelTrail{OutcomeFirstAccess, l1.cfg.Latency}
+		h.serveLLC(r, lineAddr, false)
 		l1.sec.OnFirstAccess(idx, lctx)
-		return Result{
-			Latency:     l1.cfg.Latency + below.Latency,
-			FirstAccess: true,
-			Level:       below.Level,
-		}
+		r.Latency = l1.cfg.Latency + r.LLC.Cycles + r.MemCycles
+		r.FirstAccess = true
+		return
 	}
 	l1.Stats.Misses++
+	r.L1 = LevelTrail{OutcomeMiss, l1.cfg.Latency}
 
 	// Check the other cores' L1s for a dirty copy before going to the LLC.
-	snooped := h.snoopDirty(lineAddr, corei, kind)
-	below, llcIdx := h.accessLLC(now, ctx, lineAddr, true)
-	level := below.Level
-	var extra uint64
-	if snooped && below.Level == 2 {
+	r.DirtyForward = h.snoopDirty(lineAddr, corei, r.Kind)
+	h.serveLLC(r, lineAddr, true)
+	if r.DirtyForward && r.Level == 2 {
 		// The forward is only observable when the LLC services the request;
 		// if the response waits for DRAM (a miss, or a TimeCache first
 		// access), the forward hides behind the longer DRAM latency —
 		// which is exactly how TimeCache defeats invalidate+transfer
 		// (paper §VII-B).
-		extra += h.cfg.RemoteL1Lat
+		r.ForwardCycles = h.cfg.RemoteL1Lat
 	}
 
 	st := shared
-	if kind == Store {
-		h.invalidateOtherL1s(lineAddr, corei, llcIdx)
+	if r.Kind == Store {
+		h.invalidateOtherL1s(lineAddr, corei, r.llcIdx)
 		st = modified
 	}
 	vic := l1.victim(lineAddr, lctx)
-	h.evictL1Line(l1, vic, corei, kind == Fetch)
-	l1.fill(vic, lineAddr, st, lctx, now)
+	h.evictL1Line(l1, vic, corei, r.Kind == Fetch)
+	l1.fill(vic, lineAddr, st, lctx, r.Now)
 	if h.dir != nil {
-		l1.lines[vic].llcHint = int32(llcIdx)
-		h.dir.addAt(llcIdx, lineAddr, corei, kind == Fetch, st == modified)
+		l1.lines[vic].llcHint = int32(r.llcIdx)
+		h.dir.addAt(r.llcIdx, lineAddr, corei, r.Kind == Fetch, st == modified)
 	}
 
 	if h.cfg.NextLinePrefetch {
-		h.prefetch(now, ctx, lineAddr+LineSize, kind)
+		h.prefetch(r.Now, r.Ctx, lineAddr+LineSize, r.Kind)
+		r.Prefetched = true
 	}
 
-	fa := below.FirstAccess
-	return Result{Latency: l1.cfg.Latency + extra + below.Latency, FirstAccess: fa, Level: level}
+	r.Latency = l1.cfg.Latency + r.ForwardCycles + r.LLC.Cycles + r.MemCycles
 }
 
 // prefetch installs lineAddr into the requesting context's L1 (and the LLC
@@ -435,37 +459,47 @@ func (h *Hierarchy) prefetch(now clock.Cycles, ctx int, lineAddr uint64, kind Ki
 	}
 }
 
-// accessLLC handles a request arriving at the LLC. fill controls whether a
-// miss allocates (false on the first-access descend path: the upper level
-// already holds the data, so the response is discarded and nothing fills).
-// The second return value is the LLC line index now holding lineAddr, or -1
-// on the no-fill miss path; callers attach directory state through it
-// without re-probing the set.
-func (h *Hierarchy) accessLLC(now clock.Cycles, ctx int, lineAddr uint64, fill bool) (Result, int) {
+// serveLLC handles a request arriving at the LLC, recording the level's
+// outcome in r.LLC, any DRAM cycles in r.MemCycles, the supplying level in
+// r.Level, and the LLC line index now holding lineAddr in r.llcIdx (-1 on
+// the no-fill miss path); callers attach directory state through r.llcIdx
+// without re-probing the set. fill controls whether a miss allocates (false
+// on the first-access descend path: the upper level already holds the data,
+// so the response is discarded and nothing fills). Note an LLC tag hit does
+// not set r.Hit — that summary bit means "L1 hit" to the harness, exactly
+// as the old (Result, int) plumbing discarded the inner Hit.
+func (h *Hierarchy) serveLLC(r *Request, lineAddr uint64, fill bool) {
 	llc := h.llc
-	lctx := h.llcCtx(ctx)
+	lctx := h.llcCtx(r.Ctx)
 	llc.Stats.Accesses++
 	if idx := llc.lookup(lineAddr, lctx); idx >= 0 {
 		llc.touch(idx)
 		if llc.visible(idx, lctx) {
 			llc.Stats.Hits++
-			return Result{Latency: llc.cfg.Latency, Hit: true, Level: 2}, idx
+			r.LLC = LevelTrail{OutcomeHit, llc.cfg.Latency}
+			r.Level = 2
+			r.llcIdx = idx
+			return
 		}
 		// First access at the LLC: continue to memory, discard the data.
 		llc.Stats.FirstAccess++
 		llc.sec.OnFirstAccess(idx, lctx)
-		return Result{
-			Latency:     llc.cfg.Latency + h.cfg.DRAMLat,
-			FirstAccess: true,
-			Level:       3,
-		}, idx
+		r.LLC = LevelTrail{OutcomeFirstAccess, llc.cfg.Latency}
+		r.MemCycles = h.cfg.DRAMLat
+		r.FirstAccess = true
+		r.Level = 3
+		r.llcIdx = idx
+		return
 	}
 	llc.Stats.Misses++
-	lat := llc.cfg.Latency + h.cfg.DRAMLat
+	r.LLC = LevelTrail{OutcomeMiss, llc.cfg.Latency}
+	r.MemCycles = h.cfg.DRAMLat
+	r.Level = 3
 	if !fill {
 		// Descend path with no LLC copy (inclusion was broken by a flush
 		// racing the request): just report the memory latency.
-		return Result{Latency: lat, Level: 3}, -1
+		r.llcIdx = -1
+		return
 	}
 	vic := llc.victim(lineAddr, lctx)
 	if v := &llc.lines[vic]; v.st != invalid {
@@ -475,8 +509,8 @@ func (h *Hierarchy) accessLLC(now clock.Cycles, ctx int, lineAddr uint64, fill b
 	if h.dir != nil {
 		h.dir.onLLCFill(vic, lineAddr)
 	}
-	llc.fill(vic, lineAddr, shared, lctx, now)
-	return Result{Latency: lat, Level: 3}, vic
+	llc.fill(vic, lineAddr, shared, lctx, r.Now)
+	r.llcIdx = vic
 }
 
 // snoopDirty checks other cores' L1 caches for a modified copy of lineAddr.
@@ -680,10 +714,42 @@ func (h *Hierarchy) evictL1Line(l1 *Cache, idx, corei int, inst bool) {
 
 // Flush performs a clflush of addr by ctx: the line is invalidated at every
 // level. The returned latency leaks residency unless ConstantTimeFlush is
-// set (paper §VII-C).
+// set (paper §VII-C). Compatibility wrapper over ServeFlush using the
+// hierarchy's scratch Request.
 func (h *Hierarchy) Flush(now clock.Cycles, ctx int, addr uint64) uint64 {
-	lineAddr := addr &^ (LineSize - 1)
-	present, dirty := false, false
+	r := &h.scratch
+	r.Now, r.Ctx, r.Addr = now, ctx, addr
+	h.ServeFlush(r)
+	return r.Latency
+}
+
+// ServeFlush performs the clflush described by r's Now/Ctx/Addr, recording
+// residency and dirtiness on the trail (FlushPresent, FlushDirty) and the
+// charged cycles in r.Latency. r.Kind is forced to FlushOp. Flushes are not
+// reported to the observer — matching the pre-trail behavior, where only
+// Access produced a callback.
+func (h *Hierarchy) ServeFlush(r *Request) {
+	r.Kind = FlushOp
+	r.beginTrail()
+	lineAddr := r.Addr &^ (LineSize - 1)
+	present, dirty := h.flushLine(lineAddr)
+	r.FlushPresent, r.FlushDirty = present, dirty
+	if h.cfg.ConstantTimeFlush {
+		r.Latency = h.cfg.FlushBase + h.cfg.FlushPresentExtra + h.cfg.FlushDirtyExtra
+		return
+	}
+	r.Latency = h.cfg.FlushBase
+	if present {
+		r.Latency += h.cfg.FlushPresentExtra
+	}
+	if dirty {
+		r.Latency += h.cfg.FlushDirtyExtra
+	}
+}
+
+// flushLine invalidates lineAddr at every level, reporting whether any copy
+// was resident and whether a dirty copy had to be written back.
+func (h *Hierarchy) flushLine(lineAddr uint64) (present, dirty bool) {
 	if d := h.dir; d != nil {
 		if e := d.find(lineAddr); e != nil {
 			for m := e.data; m != 0; m &= m - 1 {
@@ -735,17 +801,25 @@ func (h *Hierarchy) Flush(now clock.Cycles, ctx int, addr uint64) uint64 {
 	if h.cfg.CoherenceCheck {
 		h.verifyLine(lineAddr, "flush")
 	}
-	if h.cfg.ConstantTimeFlush {
-		return h.cfg.FlushBase + h.cfg.FlushPresentExtra + h.cfg.FlushDirtyExtra
+	return present, dirty
+}
+
+// Reset returns every cache (lines, replacement state, stats, TimeCache
+// metadata), the sharer directory, and the partition domain state to cold
+// without reallocating, and detaches any observer. A reset hierarchy is
+// indistinguishable from a freshly constructed one — machine.Reset depends
+// on this to make pooled reuse produce byte-identical experiment results.
+func (h *Hierarchy) Reset() {
+	for c := range h.l1i {
+		h.l1i[c].Reset()
+		h.l1d[c].Reset()
 	}
-	lat := h.cfg.FlushBase
-	if present {
-		lat += h.cfg.FlushPresentExtra
+	h.llc.Reset()
+	if h.dir != nil {
+		h.dir.reset()
 	}
-	if dirty {
-		lat += h.cfg.FlushDirtyExtra
-	}
-	return lat
+	clear(h.activeDomain)
+	h.obs = nil
 }
 
 // FlushAll invalidates every line in every cache (the flush-on-switch

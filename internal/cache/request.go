@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"fmt"
+
+	"timecache/internal/clock"
+)
+
+// Outcome classifies what one cache level did with a request.
+type Outcome uint8
+
+// Per-level outcomes recorded on a Request's trail.
+const (
+	// OutcomeNone means the level was not consulted.
+	OutcomeNone Outcome = iota
+	// OutcomeHit is a tag hit served as a real hit (s-bit visible).
+	OutcomeHit
+	// OutcomeFirstAccess is a tag hit delayed because the requesting
+	// context's s-bit was clear (TimeCache/FTM first-access miss).
+	OutcomeFirstAccess
+	// OutcomeMiss is a tag miss.
+	OutcomeMiss
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNone:
+		return "none"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeFirstAccess:
+		return "first-access"
+	case OutcomeMiss:
+		return "miss"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// LevelTrail records one cache level's contribution to a request: what the
+// level did with it and the cycles that level added to the total latency.
+type LevelTrail struct {
+	Outcome Outcome
+	Cycles  uint64
+}
+
+// Request carries one memory access down the hierarchy and accumulates the
+// response trail in place on the way back up. The input fields (Now, Ctx,
+// Addr, Kind) are set by the caller; Hierarchy.Serve fills everything else.
+//
+// A Request is reused across accesses: callers on the hot path (the kernel's
+// per-core request, the hierarchy's internal scratch for the compatibility
+// wrappers) embed one in a long-lived struct so serving an access performs
+// no allocation, and Serve re-zeroes the response fields itself.
+type Request struct {
+	// Inputs, set by the caller before Serve/ServeFlush.
+	Now  clock.Cycles
+	Ctx  int // global hardware context
+	Addr uint64
+	Kind Kind
+
+	// Response summary (the legacy Result fields).
+	Latency     uint64 // total cycles the access took
+	Hit         bool   // serviced as an L1 hit (visible)
+	FirstAccess bool   // some level delayed the access on a clear s-bit
+	Level       int    // level that supplied the data: 1 L1, 2 LLC, 3 memory
+
+	// Per-level trail.
+	L1  LevelTrail
+	LLC LevelTrail
+	// MemCycles is the DRAM portion of Latency (zero unless the request
+	// reached memory).
+	MemCycles uint64
+	// ForwardCycles is the remote-L1 dirty-forward portion of Latency
+	// (nonzero only when DirtyForward and the LLC serviced the request).
+	ForwardCycles uint64
+
+	// Coherence actions taken while serving the request.
+	DirtyForward bool // another core's modified copy was written back
+	Upgrade      bool // a shared L1 copy was upgraded to modified (store hit)
+	Prefetched   bool // the next-line prefetcher ran behind this miss
+
+	// Flush trail (ServeFlush only).
+	FlushPresent bool // some cache held the line
+	FlushDirty   bool // a dirty copy had to be written back
+
+	// llcIdx is the LLC slot that hit or filled while serving (directory
+	// plumbing, replacing the old (Result, int) return); -1 when none.
+	llcIdx int
+}
+
+// Result summarizes the trail as the legacy Result value.
+func (r *Request) Result() Result {
+	return Result{Latency: r.Latency, Hit: r.Hit, FirstAccess: r.FirstAccess, Level: r.Level}
+}
+
+// beginTrail clears every response field, keeping the inputs, so a reused
+// Request starts each access from a clean trail.
+func (r *Request) beginTrail() {
+	r.Latency = 0
+	r.Hit = false
+	r.FirstAccess = false
+	r.Level = 0
+	r.L1 = LevelTrail{}
+	r.LLC = LevelTrail{}
+	r.MemCycles = 0
+	r.ForwardCycles = 0
+	r.DirtyForward = false
+	r.Upgrade = false
+	r.Prefetched = false
+	r.FlushPresent = false
+	r.FlushDirty = false
+	r.llcIdx = -1
+}

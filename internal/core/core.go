@@ -263,6 +263,22 @@ func (s *SecArray) RestoreColumn(ctx int, v SecVec, ts, now clock.Cycles) {
 	s.ResetsByComp += resets
 }
 
+// Reset clears every s-bit column, all fill timestamps (including the
+// gate-level mirror when present), and the stats counters without
+// reallocating, returning the array to its freshly constructed state.
+func (s *SecArray) Reset() {
+	clear(s.cols)
+	clear(s.tc)
+	if s.arr != nil {
+		for line := 0; line < s.lines; line++ {
+			s.arr.Store(line, 0)
+		}
+	}
+	s.Compares = 0
+	s.ResetsByComp = 0
+	s.Rollovers = 0
+}
+
 // checkCtx validates a context index at the column-operation boundary.
 func (s *SecArray) checkCtx(ctx int) {
 	if ctx < 0 || ctx >= s.contexts {

@@ -40,6 +40,10 @@ type Tracker interface {
 	ClearColumn(ctx int)
 	// RestoreColumn installs a saved column, reconciling against Tc/Ts.
 	RestoreColumn(ctx int, v SecVec, ts, now clock.Cycles)
+	// Reset clears all visibility, timestamps, and stats without
+	// reallocating, returning the tracker to its freshly constructed state
+	// for machine reuse.
+	Reset()
 }
 
 // Compile-time checks.
@@ -262,6 +266,16 @@ func (t *LimitedTracker) RestoreColumn(ctx int, v SecVec, ts, now clock.Cycles) 
 			t.add(line, ctx)
 		}
 	}
+}
+
+// Reset implements Tracker.
+func (t *LimitedTracker) Reset() {
+	clear(t.slots)
+	clear(t.slotValid)
+	clear(t.tc)
+	t.clockHand = 0
+	t.OverflowEvictions = 0
+	t.Rollovers = 0
 }
 
 // BitsPerLine returns the metadata bits per cache line for each tracker

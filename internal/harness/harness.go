@@ -10,7 +10,7 @@ import (
 	"timecache/internal/cache"
 	"timecache/internal/core"
 	"timecache/internal/kernel"
-	"timecache/internal/mem"
+	"timecache/internal/machine"
 	"timecache/internal/runner"
 	"timecache/internal/stats"
 	"timecache/internal/telemetry"
@@ -175,26 +175,32 @@ type PairResult struct {
 	ContextSwitches uint64
 }
 
-// buildMachine constructs a machine for an experiment.
-func buildMachine(mode cache.SecMode, cores int, opts Options, frames int) *kernel.Kernel {
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Cores = cores
-	hcfg.Mode = mode
-	hcfg.LLCSize = opts.LLCSize
-	hcfg.Sec.GateLevel = opts.GateLevel
-	hcfg.CoherenceCheck = opts.CoherenceCheck
-	kcfg := kernel.DefaultConfig()
-	if opts.SliceCycles != 0 {
-		kcfg.SliceCycles = opts.SliceCycles
+// machineConfig derives the machine assembly config for an experiment.
+func machineConfig(mode cache.SecMode, cores int, opts Options, frames int) machine.Config {
+	return machine.Config{
+		Mode:           mode,
+		Cores:          cores,
+		LLCSize:        opts.LLCSize,
+		GateLevel:      opts.GateLevel,
+		CoherenceCheck: opts.CoherenceCheck,
+		SliceCycles:    opts.SliceCycles,
+		PhysFrames:     frameBudget(frames),
 	}
-	hier := cache.NewHierarchy(hcfg)
-	phys := mem.NewPhysical(frames, hcfg.DRAMLat)
-	return kernel.New(kcfg, hier, phys)
+}
+
+// frameBudget rounds a frame requirement up to an 8192-frame (32 MB)
+// bucket. Physical capacity only gates out-of-memory — it never changes
+// timing — so coarse buckets let workloads with similar footprints share
+// one pooled machine shape instead of splitting the pool per exact size.
+func frameBudget(frames int) int {
+	const bucket = 8192
+	return (frames + bucket - 1) / bucket * bucket
 }
 
 // runSpecPairOnce runs one Fig. 7 workload (two processes, one core) under
-// the given mode and returns the steady-state measurement.
-func runSpecPairOnce(pair workload.Pair, mode cache.SecMode, opts Options) (measurement, error) {
+// the given mode and returns the steady-state measurement. The machine
+// comes from pool (nil builds fresh).
+func runSpecPairOnce(pool *machine.Pool, pair workload.Pair, mode cache.SecMode, opts Options) (measurement, error) {
 	pa, err := workload.Spec(pair.A)
 	if err != nil {
 		return measurement{}, err
@@ -204,7 +210,7 @@ func runSpecPairOnce(pair workload.Pair, mode cache.SecMode, opts Options) (meas
 		return measurement{}, err
 	}
 	frames := workload.FramesNeeded(pa) + workload.FramesNeeded(pb) + 1024
-	k := buildMachine(mode, 1, opts, frames)
+	k := pool.Get(machineConfig(mode, 1, opts, frames)).Kernel()
 	total := opts.WarmupInstrs + opts.InstrsPerProc
 	_, procA, err := workload.Spawn(k, pa, workload.SpawnOptions{Instrs: total, Seed: 1001})
 	if err != nil {
@@ -281,12 +287,17 @@ func result(label string, mb, mt measurement) PairResult {
 // RunSpecPair measures one Fig. 7 / Table II row: the same pair under the
 // baseline and under TimeCache.
 func RunSpecPair(pair workload.Pair, opts Options) (PairResult, error) {
+	return runSpecPair(nil, pair, opts)
+}
+
+// runSpecPair is RunSpecPair drawing machines from pool.
+func runSpecPair(pool *machine.Pool, pair workload.Pair, opts Options) (PairResult, error) {
 	opts = opts.withDefaults()
-	mb, err := runSpecPairOnce(pair, cache.SecOff, opts)
+	mb, err := runSpecPairOnce(pool, pair, cache.SecOff, opts)
 	if err != nil {
 		return PairResult{}, err
 	}
-	mt, err := runSpecPairOnce(pair, cache.SecTimeCache, opts)
+	mt, err := runSpecPairOnce(pool, pair, cache.SecTimeCache, opts)
 	if err != nil {
 		return PairResult{}, err
 	}
@@ -294,23 +305,25 @@ func RunSpecPair(pair workload.Pair, opts Options) (PairResult, error) {
 }
 
 // RunAllSpecPairs reproduces Figures 7 and 8 and the SPEC half of Table II.
-// Pairs are fully independent (each run builds its own machine), so they
-// fan out across Options.Jobs workers with results in paper order.
+// Pairs are fully independent, so they fan out across Options.Jobs workers
+// with results in paper order; each worker reuses one pooled machine per
+// configuration (Reset between runs) instead of rebuilding.
 func RunAllSpecPairs(opts Options) ([]PairResult, error) {
 	pairs := workload.SpecPairs()
-	return runner.Map(len(pairs), opts.pool(), func(i int) (PairResult, error) {
-		return RunSpecPair(pairs[i], opts)
+	return runner.MapWorkers(len(pairs), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (PairResult, error) {
+		return runSpecPair(pool, pairs[i], opts)
 	})
 }
 
-// runParsecOnce runs one 2-thread/2-core PARSEC workload.
-func runParsecOnce(name string, mode cache.SecMode, opts Options) (measurement, error) {
+// runParsecOnce runs one 2-thread/2-core PARSEC workload on a machine from
+// pool (nil builds fresh).
+func runParsecOnce(pool *machine.Pool, name string, mode cache.SecMode, opts Options) (measurement, error) {
 	prof, err := workload.Parsec(name)
 	if err != nil {
 		return measurement{}, err
 	}
 	frames := workload.FramesNeeded(prof) + 1024
-	k := buildMachine(mode, 2, opts, frames)
+	k := pool.Get(machineConfig(mode, 2, opts, frames)).Kernel()
 	as, err := workload.BuildSharedAS(k, prof)
 	if err != nil {
 		return measurement{}, err
@@ -347,12 +360,17 @@ func runParsecOnce(name string, mode cache.SecMode, opts Options) (measurement, 
 
 // RunParsec measures one Fig. 9 row.
 func RunParsec(name string, opts Options) (PairResult, error) {
+	return runParsec(nil, name, opts)
+}
+
+// runParsec is RunParsec drawing machines from pool.
+func runParsec(pool *machine.Pool, name string, opts Options) (PairResult, error) {
 	opts = opts.withDefaults()
-	mb, err := runParsecOnce(name, cache.SecOff, opts)
+	mb, err := runParsecOnce(pool, name, cache.SecOff, opts)
 	if err != nil {
 		return PairResult{}, err
 	}
-	mt, err := runParsecOnce(name, cache.SecTimeCache, opts)
+	mt, err := runParsecOnce(pool, name, cache.SecTimeCache, opts)
 	if err != nil {
 		return PairResult{}, err
 	}
@@ -360,11 +378,11 @@ func RunParsec(name string, opts Options) (PairResult, error) {
 }
 
 // RunAllParsec reproduces Figures 9a/9b and the PARSEC rows of Table II,
-// fanned out across Options.Jobs workers.
+// fanned out across Options.Jobs workers with per-worker machine pools.
 func RunAllParsec(opts Options) ([]PairResult, error) {
 	names := workload.ParsecNames()
-	return runner.Map(len(names), opts.pool(), func(i int) (PairResult, error) {
-		return RunParsec(names[i], opts)
+	return runner.MapWorkers(len(names), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (PairResult, error) {
+		return runParsec(pool, names[i], opts)
 	})
 }
 
@@ -377,13 +395,15 @@ type SensitivityPoint struct {
 
 // RunLLCSensitivity reproduces Fig. 10: geometric-mean overhead of the
 // same-benchmark pairs at each LLC size. The whole size×pair grid is
-// flattened into one job list so small sweeps still saturate the pool.
+// flattened into one job list so small sweeps still saturate the pool, and
+// each worker keeps one machine per (mode, LLC size) shape, Reset between
+// runs, instead of rebuilding the hierarchy per grid cell.
 func RunLLCSensitivity(sizes []int, pairs []workload.Pair, opts Options) ([]SensitivityPoint, error) {
 	opts = opts.withDefaults()
-	norms, err := runner.Map(len(sizes)*len(pairs), opts.pool(), func(i int) (float64, error) {
+	norms, err := runner.MapWorkers(len(sizes)*len(pairs), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (float64, error) {
 		o := opts
 		o.LLCSize = sizes[i/len(pairs)]
-		r, err := RunSpecPair(pairs[i%len(pairs)], o)
+		r, err := runSpecPair(pool, pairs[i%len(pairs)], o)
 		if err != nil {
 			return 0, err
 		}
@@ -436,21 +456,12 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 	}
 	// Each defense configuration is an independent machine; run them all
 	// concurrently and normalize against the baseline's cycles afterwards.
-	cyclesFor, err := runner.Map(len(configs), opts.pool(), func(i int) (uint64, error) {
+	cyclesFor, err := runner.MapWorkers(len(configs), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (uint64, error) {
 		cfgDef := configs[i]
-		hcfg := cache.DefaultHierarchyConfig()
-		hcfg.Mode = cfgDef.mode
-		hcfg.LLCSize = opts.LLCSize
-		hcfg.Partitioned = cfgDef.partitioned
-		hcfg.CoherenceCheck = opts.CoherenceCheck
-		kcfg := kernel.DefaultConfig()
-		kcfg.FlushOnSwitch = cfgDef.flushOnSwitch
-		if opts.SliceCycles != 0 {
-			kcfg.SliceCycles = opts.SliceCycles
-		}
-		hier := cache.NewHierarchy(hcfg)
-		phys := mem.NewPhysical(frames, hcfg.DRAMLat)
-		k := kernel.New(kcfg, hier, phys)
+		mcfg := machineConfig(cfgDef.mode, 1, opts, frames)
+		mcfg.Partitioned = cfgDef.partitioned
+		mcfg.FlushOnSwitch = cfgDef.flushOnSwitch
+		k := pool.Get(mcfg).Kernel()
 		var warm measurement
 		warmed := 0
 		onWarm := func() {
@@ -501,10 +512,10 @@ type BookkeepingPoint struct {
 // 1–10 ms scheduler quanta, converging on the paper's ~0.02% figure.
 func RunBookkeepingScaling(pair workload.Pair, slices []uint64, opts Options) ([]BookkeepingPoint, error) {
 	opts = opts.withDefaults()
-	return runner.Map(len(slices), opts.pool(), func(i int) (BookkeepingPoint, error) {
+	return runner.MapWorkers(len(slices), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (BookkeepingPoint, error) {
 		o := opts
 		o.SliceCycles = slices[i]
-		r, err := RunSpecPair(pair, o)
+		r, err := runSpecPair(pool, pair, o)
 		if err != nil {
 			return BookkeepingPoint{}, err
 		}

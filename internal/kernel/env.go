@@ -63,8 +63,10 @@ type procFault struct{ err error }
 func (e *procEnv) access(vaddr uint64, kind cache.Kind) uint64 {
 	write := kind == cache.Store
 	pa := e.translate(vaddr, write)
-	res := e.k.hier.Access(e.cpu.clock.Now(), e.cpu.ctx, pa, kind)
-	e.cpu.clock.Advance(res.Latency)
+	r := &e.cpu.req
+	r.Now, r.Ctx, r.Addr, r.Kind = e.cpu.clock.Now(), e.cpu.ctx, pa, kind
+	e.k.hier.Serve(r)
+	e.cpu.clock.Advance(r.Latency)
 	return pa
 }
 
@@ -82,8 +84,10 @@ func (e *procEnv) Store(vaddr uint64, v uint64) {
 
 func (e *procEnv) Flush(vaddr uint64) {
 	pa := e.translate(vaddr, false)
-	lat := e.k.hier.Flush(e.cpu.clock.Now(), e.cpu.ctx, pa)
-	e.cpu.clock.Advance(lat)
+	r := &e.cpu.req
+	r.Now, r.Ctx, r.Addr = e.cpu.clock.Now(), e.cpu.ctx, pa
+	e.k.hier.ServeFlush(r)
+	e.cpu.clock.Advance(r.Latency)
 }
 
 func (e *procEnv) Syscall(num, arg uint64) uint64 {

@@ -123,6 +123,12 @@ type coreState struct {
 	// switchCost is the fixed per-switch s-bit bookkeeping charge for this
 	// context's caches under the configured cost model.
 	switchCost uint64
+
+	// req is this CPU's long-lived memory request: every access the core
+	// issues (process loads/stores/fetches, kernel text touches, flushes)
+	// reuses it, so the per-access path performs no allocation even though
+	// the hierarchy hands the request to observers through an interface.
+	req cache.Request
 }
 
 // Kernel owns the machine: physical memory, the cache hierarchy, cores, and
@@ -173,20 +179,49 @@ func New(cfg Config, hier *cache.Hierarchy, phys *mem.Physical) *Kernel {
 		}
 		k.cores = append(k.cores, cs)
 	}
-	// Allocate the kernel text region.
-	lines := cfg.KernelTextLines
+	k.allocKernelText()
+	return k
+}
+
+// allocKernelText allocates the kernel text region. On a fresh Physical the
+// frames come out dense from 0; Reset re-runs this after Physical.Reset and
+// gets the identical frames back.
+func (k *Kernel) allocKernelText() {
+	lines := k.cfg.KernelTextLines
 	if lines <= 0 {
 		lines = 1
 	}
 	pages := (lines*cache.LineSize + mem.PageSize - 1) / mem.PageSize
 	for i := 0; i < pages; i++ {
-		f, err := phys.Alloc()
+		f, err := k.phys.Alloc()
 		if err != nil {
 			panic(fmt.Sprintf("kernel: cannot allocate kernel text: %v", err))
 		}
 		k.kernelText = append(k.kernelText, f)
 	}
-	return k
+}
+
+// Reset returns the kernel — and through it the whole machine: hierarchy,
+// physical memory, cores — to the state New left it in, without reallocating
+// the large arrays. Processes are dropped, stats and probes cleared, core
+// clocks rewound to zero, and the kernel text re-allocated (deterministically
+// receiving the same frames). machine.Reset is the public entry point.
+func (k *Kernel) Reset() {
+	k.hier.Reset()
+	k.phys.Reset()
+	k.probe = nil
+	k.Stats = Stats{}
+	k.procs = k.procs[:0]
+	k.nextPID = 1
+	clear(k.regions)
+	for _, c := range k.cores {
+		c.clock = clock.Clock{}
+		c.runq = c.runq[:0]
+		c.cur, c.prev = nil, nil
+		c.sliceEnd, c.sliceInstrs, c.runStart = 0, 0, 0
+	}
+	k.kernelText = k.kernelText[:0]
+	k.allocKernelText()
 }
 
 // Hierarchy returns the machine's cache hierarchy.
@@ -286,8 +321,10 @@ func (k *Kernel) touchKernelText(c *coreState) {
 		line := (start + i) % total
 		pa := k.kernelText[line*cache.LineSize/mem.PageSize].Addr() +
 			uint64(line*cache.LineSize%mem.PageSize)
-		res := k.hier.Access(c.clock.Now(), c.ctx, pa, cache.Fetch)
-		c.clock.Advance(res.Latency)
+		r := &c.req
+		r.Now, r.Ctx, r.Addr, r.Kind = c.clock.Now(), c.ctx, pa, cache.Fetch
+		k.hier.Serve(r)
+		c.clock.Advance(r.Latency)
 	}
 }
 

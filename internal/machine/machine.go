@@ -1,0 +1,219 @@
+// Package machine is the single assembly point for a simulated machine: one
+// Config describes the whole shape (defense mode, core count, cache
+// geometry, kernel parameters, physical memory size), and New composes the
+// clock-bearing kernel, cache hierarchy, and physical memory from it.
+//
+// Every entry point that needs a machine — the public timecache.System, the
+// experiment harness, the attack scenarios, and the CLIs — derives a Config
+// and calls New here, so `machine.New` is the only place outside tests where
+// cache.NewHierarchy, mem.NewPhysical, and kernel.New are composed.
+//
+// Machines are reusable: Reset returns one to the exact state New left it
+// in, without reallocating the line arrays, s-bit columns, or frame tables.
+// A Pool keyed by Config lets sweep workers run many experiment legs on a
+// handful of machines instead of rebuilding per run; because a reset machine
+// is indistinguishable from a fresh one, pooled results are byte-identical.
+package machine
+
+import (
+	"timecache/internal/cache"
+	"timecache/internal/kernel"
+	"timecache/internal/mem"
+	"timecache/internal/replacement"
+	"timecache/internal/telemetry"
+)
+
+// DefaultPhysFrames is the physical memory size when Config.PhysFrames is
+// zero: 32768 frames = 128 MB.
+const DefaultPhysFrames = 32768
+
+// Config describes a simulated machine. The zero value assembles the
+// paper's evaluation machine: one 2 GHz core, 32 KB 8-way L1I/L1D, 2 MB
+// 16-way inclusive LLC, 32-bit timestamps, no defense.
+//
+// Config is comparable (it has no slice, map, or func fields) so it can key
+// a Pool: two configs are the same machine shape iff they are ==.
+type Config struct {
+	// Mode selects the defense (cache.SecOff, SecTimeCache, SecFTM).
+	Mode cache.SecMode
+	// Cores is the number of cores; zero keeps the default (1).
+	Cores int
+	// ThreadsPerCore is the SMT width; zero keeps the default (1).
+	ThreadsPerCore int
+	// L1Size and LLCSize are cache sizes in bytes; zero keeps the defaults
+	// (32 KB and 2 MB).
+	L1Size, LLCSize int
+	// TimestampBits is the Tc width; zero keeps the default (32).
+	TimestampBits uint
+	// GateLevel routes context-switch timestamp comparisons through the
+	// gate-level transposed-SRAM comparator model.
+	GateLevel bool
+	// MaxSharers, when positive, selects the limited-pointer s-bit tracker
+	// (§VI-C) with that many slots per line.
+	MaxSharers int
+	// ConstantTimeFlush makes clflush constant-time (the §VII-C mitigation).
+	ConstantTimeFlush bool
+	// Partitioned enables the DAWG-lite way-partitioning baseline.
+	Partitioned bool
+	// RandomizedIndex enables CEASER-lite LLC index randomization with the
+	// given nonzero key.
+	RandomizedIndex uint64
+	// CoherenceCheck cross-checks the LLC sharer directory against a
+	// brute-force probe on every coherence event (debug mode).
+	CoherenceCheck bool
+	// NextLinePrefetch enables the next-line prefetcher.
+	NextLinePrefetch bool
+	// DisableDirectory forces broadcast coherence where the sharer
+	// directory would apply (A/B benchmarking).
+	DisableDirectory bool
+	// Policy overrides the replacement policy; empty keeps the default
+	// (true LRU). PolicySeed seeds the random policy.
+	Policy     replacement.Kind
+	PolicySeed uint64
+	// SliceCycles overrides the scheduler time slice; zero keeps the
+	// default (200k cycles).
+	SliceCycles uint64
+	// FlushOnSwitch flushes every cache at each context switch (the
+	// baseline defense of §IV-C).
+	FlushOnSwitch bool
+	// PhysFrames sizes physical memory; zero keeps DefaultPhysFrames.
+	// Capacity only gates out-of-memory — it never changes timing — so
+	// callers may round it up freely to share pooled machines.
+	PhysFrames int
+}
+
+// HierarchyConfig is the canonical Config → cache.HierarchyConfig mapping,
+// deduplicating the derivations that used to live separately in timecache.go
+// and internal/harness. Zero-valued fields keep the paper defaults from
+// cache.DefaultHierarchyConfig; TestHierarchyConfigMapping pins every field.
+func (c Config) HierarchyConfig() cache.HierarchyConfig {
+	h := cache.DefaultHierarchyConfig()
+	if c.Cores > 0 {
+		h.Cores = c.Cores
+	}
+	if c.ThreadsPerCore > 0 {
+		h.ThreadsPerCore = c.ThreadsPerCore
+	}
+	h.Mode = c.Mode
+	if c.L1Size != 0 {
+		h.L1Size = c.L1Size
+	}
+	if c.LLCSize != 0 {
+		h.LLCSize = c.LLCSize
+	}
+	if c.TimestampBits != 0 {
+		h.Sec.TimestampBits = c.TimestampBits
+	}
+	h.Sec.GateLevel = c.GateLevel
+	h.Sec.MaxSharers = c.MaxSharers
+	h.ConstantTimeFlush = c.ConstantTimeFlush
+	h.Partitioned = c.Partitioned
+	h.IndexRand = c.RandomizedIndex
+	h.CoherenceCheck = c.CoherenceCheck
+	h.NextLinePrefetch = c.NextLinePrefetch
+	h.DisableDirectory = c.DisableDirectory
+	if c.Policy != "" {
+		h.Policy = c.Policy
+	}
+	h.PolicySeed = c.PolicySeed
+	return h
+}
+
+// KernelConfig is the canonical Config → kernel.Config mapping.
+func (c Config) KernelConfig() kernel.Config {
+	k := kernel.DefaultConfig()
+	if c.SliceCycles != 0 {
+		k.SliceCycles = c.SliceCycles
+	}
+	k.FlushOnSwitch = c.FlushOnSwitch
+	return k
+}
+
+func (c Config) frames() int {
+	if c.PhysFrames > 0 {
+		return c.PhysFrames
+	}
+	return DefaultPhysFrames
+}
+
+// Machine is an assembled simulated machine. The kernel owns the cores and
+// their clocks; the hierarchy and physical memory are reachable both here
+// and through the kernel.
+type Machine struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	phys *mem.Physical
+	k    *kernel.Kernel
+}
+
+// New assembles a machine from cfg.
+func New(cfg Config) *Machine {
+	hcfg := cfg.HierarchyConfig()
+	hier := cache.NewHierarchy(hcfg)
+	phys := mem.NewPhysical(cfg.frames(), hcfg.DRAMLat)
+	return &Machine{cfg: cfg, hier: hier, phys: phys, k: kernel.New(cfg.KernelConfig(), hier, phys)}
+}
+
+// Config returns the machine's assembly configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Kernel returns the machine's kernel (the run entry point).
+func (m *Machine) Kernel() *kernel.Kernel { return m.k }
+
+// Hierarchy returns the machine's cache hierarchy.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Physical returns the machine's physical memory.
+func (m *Machine) Physical() *mem.Physical { return m.phys }
+
+// Reset returns the machine to the cold state New left it in without
+// reallocating: processes dropped, caches and s-bits cleared, replacement
+// and directory state rewound, frames freed in an order that makes the next
+// run's allocations identical to a fresh machine's, clocks zeroed, telemetry
+// hooks detached. Running the same workload after Reset produces exactly the
+// cycles and counters a fresh machine would (TestResetDeterminism and the
+// golden experiment tests enforce this).
+func (m *Machine) Reset() { m.k.Reset() }
+
+// AttachTelemetry installs a telemetry collector (interval sampler, latency
+// histograms, trace exporter, manifest) on the machine. Reset detaches it.
+func (m *Machine) AttachTelemetry(cfg telemetry.Config) *telemetry.Collector {
+	return telemetry.New(cfg).Attach(m.k)
+}
+
+// Pool reuses machines across experiment runs, keyed by Config. Get returns
+// a Reset machine when one with the identical config was built earlier, so a
+// sweep worker running many legs of the same shape pays construction once.
+//
+// A Pool is not safe for concurrent use: parallel sweeps give each worker
+// its own pool (see runner.MapWorkers). A nil *Pool is valid and simply
+// builds a fresh machine per Get.
+type Pool struct {
+	machines map[Config]*Machine
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{machines: map[Config]*Machine{}} }
+
+// Get returns a machine assembled from cfg: a pooled one (after Reset) when
+// available, a fresh one (retained for future Gets) otherwise.
+func (p *Pool) Get(cfg Config) *Machine {
+	if p == nil {
+		return New(cfg)
+	}
+	if m, ok := p.machines[cfg]; ok {
+		m.Reset()
+		return m
+	}
+	m := New(cfg)
+	p.machines[cfg] = m
+	return m
+}
+
+// Size returns the number of distinct machine shapes the pool holds.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.machines)
+}

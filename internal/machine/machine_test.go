@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"timecache/internal/cache"
+	"timecache/internal/kernel"
+	"timecache/internal/telemetry"
+	"timecache/internal/workload"
+)
+
+// TestHierarchyConfigMapping pins the canonical Config → HierarchyConfig
+// derivation: the zero Config keeps every paper default, and each Config
+// field lands in exactly the HierarchyConfig field the old per-caller
+// derivations (timecache.go, internal/harness) used to set. HierarchyConfig
+// is comparable, so the zero-config case is a single == against
+// cache.DefaultHierarchyConfig.
+func TestHierarchyConfigMapping(t *testing.T) {
+	if got, want := (Config{}).HierarchyConfig(), cache.DefaultHierarchyConfig(); got != want {
+		t.Fatalf("zero Config must map to the paper defaults:\n got %+v\nwant %+v", got, want)
+	}
+
+	full := Config{
+		Mode:              cache.SecTimeCache,
+		Cores:             4,
+		ThreadsPerCore:    2,
+		L1Size:            16 << 10,
+		LLCSize:           1 << 20,
+		TimestampBits:     16,
+		GateLevel:         true,
+		MaxSharers:        3,
+		ConstantTimeFlush: true,
+		Partitioned:       true,
+		RandomizedIndex:   0xABCD,
+		CoherenceCheck:    true,
+		NextLinePrefetch:  true,
+		DisableDirectory:  true,
+		Policy:            "random",
+		PolicySeed:        99,
+	}
+	want := cache.DefaultHierarchyConfig()
+	want.Mode = cache.SecTimeCache
+	want.Cores = 4
+	want.ThreadsPerCore = 2
+	want.L1Size = 16 << 10
+	want.LLCSize = 1 << 20
+	want.Sec.TimestampBits = 16
+	want.Sec.GateLevel = true
+	want.Sec.MaxSharers = 3
+	want.ConstantTimeFlush = true
+	want.Partitioned = true
+	want.IndexRand = 0xABCD
+	want.CoherenceCheck = true
+	want.NextLinePrefetch = true
+	want.DisableDirectory = true
+	want.Policy = "random"
+	want.PolicySeed = 99
+	if got := full.HierarchyConfig(); got != want {
+		t.Fatalf("full Config mapping:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestKernelConfigMapping pins the Config → kernel.Config derivation.
+func TestKernelConfigMapping(t *testing.T) {
+	if got, want := (Config{}).KernelConfig(), kernel.DefaultConfig(); got != want {
+		t.Fatalf("zero Config must map to the kernel defaults:\n got %+v\nwant %+v", got, want)
+	}
+	want := kernel.DefaultConfig()
+	want.SliceCycles = 12345
+	want.FlushOnSwitch = true
+	if got := (Config{SliceCycles: 12345, FlushOnSwitch: true}).KernelConfig(); got != want {
+		t.Fatalf("kernel mapping:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// runWorkloadPair runs two small SPEC workload models to completion on m
+// and returns a fingerprint of everything externally observable: total
+// cycles, kernel stats, and every cache's counter block. Two fingerprints
+// are equal iff the runs were cycle- and counter-identical.
+func runWorkloadPair(t testing.TB, m *Machine) string {
+	t.Helper()
+	k := m.Kernel()
+	for i, name := range []string{"gobmk", "lbm"} {
+		prof, err := workload.Spec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := workload.BuildSharedAS(k, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Spawn(name, workload.NewProc(prof, 20_000, uint64(1001+i*1001)), as, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycles := k.Run(1 << 62)
+	fp := fmt.Sprintf("cycles=%d stats=%+v", cycles, k.Stats)
+	for _, c := range m.Hierarchy().Caches() {
+		fp += fmt.Sprintf(" %s=%+v", c.Name(), c.Stats)
+	}
+	return fp
+}
+
+// TestResetDeterminism is the core pooling contract: a machine that ran a
+// workload and was Reset must replay the same workload with exactly the
+// cycles and counters a fresh machine produces. The golden experiment tests
+// enforce the same property end-to-end; this one localizes a violation to
+// the machine layer.
+func TestResetDeterminism(t *testing.T) {
+	cfg := Config{Mode: cache.SecTimeCache, PhysFrames: 8192}
+	fresh := runWorkloadPair(t, New(cfg))
+
+	m := New(cfg)
+	if got := runWorkloadPair(t, m); got != fresh {
+		t.Fatalf("two fresh machines disagree:\n got %s\nwant %s", got, fresh)
+	}
+	m.Reset()
+	if got := runWorkloadPair(t, m); got != fresh {
+		t.Fatalf("reset machine diverged from fresh:\n got %s\nwant %s", got, fresh)
+	}
+}
+
+// TestResetDetachesTelemetry: Reset must drop the observer so a pooled
+// machine never reports into a previous run's collector.
+func TestResetDetachesTelemetry(t *testing.T) {
+	m := New(Config{PhysFrames: 8192})
+	m.AttachTelemetry(telemetry.Config{})
+	if m.Hierarchy().Observer() == nil {
+		t.Fatal("AttachTelemetry did not install an observer")
+	}
+	m.Reset()
+	if m.Hierarchy().Observer() != nil {
+		t.Fatal("Reset left the telemetry observer attached")
+	}
+}
+
+// TestPoolReuse pins the pool contract: same config → same machine
+// (reset), different config → different machine, nil pool → always fresh.
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	a := Config{Mode: cache.SecTimeCache, PhysFrames: 8192}
+	b := Config{Mode: cache.SecOff, PhysFrames: 8192}
+
+	m1 := p.Get(a)
+	if m2 := p.Get(a); m2 != m1 {
+		t.Fatal("pool did not reuse the machine for an identical config")
+	}
+	if m3 := p.Get(b); m3 == m1 {
+		t.Fatal("pool returned the same machine for a different config")
+	}
+	if p.Size() != 2 {
+		t.Fatalf("pool holds %d shapes, want 2", p.Size())
+	}
+
+	var nilPool *Pool
+	n1, n2 := nilPool.Get(a), nilPool.Get(a)
+	if n1 == nil || n2 == nil || n1 == n2 {
+		t.Fatal("nil pool must build a fresh machine per Get")
+	}
+	if nilPool.Size() != 0 {
+		t.Fatal("nil pool reports nonzero size")
+	}
+}
+
+// BenchmarkMachineNew measures full machine assembly (the per-run cost the
+// pool eliminates) for the paper's default TimeCache shape.
+func BenchmarkMachineNew(b *testing.B) {
+	cfg := Config{Mode: cache.SecTimeCache}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		New(cfg)
+	}
+}
+
+// BenchmarkMachineReset measures returning an assembled machine to cold
+// state. Compare against BenchmarkMachineNew: the difference is what every
+// pooled sweep leg saves.
+func BenchmarkMachineReset(b *testing.B) {
+	m := New(Config{Mode: cache.SecTimeCache})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+	}
+}
+
+// BenchmarkSweepRebuild and BenchmarkSweepReuse run the same small workload
+// leg per iteration; Rebuild assembles a fresh machine each time (the old
+// sweep behavior), Reuse takes a Reset machine from a pool (the new
+// behavior). The gap is the measured end-to-end pooling win.
+func BenchmarkSweepRebuild(b *testing.B) {
+	cfg := Config{Mode: cache.SecTimeCache, PhysFrames: 8192}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runWorkloadPair(b, New(cfg))
+	}
+}
+
+func BenchmarkSweepReuse(b *testing.B) {
+	cfg := Config{Mode: cache.SecTimeCache, PhysFrames: 8192}
+	pool := NewPool()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runWorkloadPair(b, pool.Get(cfg))
+	}
+}

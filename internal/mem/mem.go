@@ -70,6 +70,18 @@ func (p *Physical) Alloc() (Frame, error) {
 	return f, nil
 }
 
+// Reset frees every frame without releasing backing storage, restoring the
+// allocation order of a fresh Physical: the free list is rebuilt descending
+// so successive Allocs pop frames 0, 1, 2, ... exactly as first-time append
+// allocation numbered them. Frame contents are zeroed lazily by Alloc.
+func (p *Physical) Reset() {
+	p.free = p.free[:0]
+	for i := len(p.frames) - 1; i >= 0; i-- {
+		p.frames[i].refs = 0
+		p.free = append(p.free, Frame(i))
+	}
+}
+
 // Ref increments the reference count of f (e.g. when a second address space
 // maps the frame, or when COW duplicates a mapping).
 func (p *Physical) Ref(f Frame) {

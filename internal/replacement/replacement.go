@@ -20,6 +20,11 @@ type Policy interface {
 	Victim(set int) int
 	// Name identifies the policy for stats and configuration.
 	Name() string
+	// Reset returns the policy to its freshly constructed state without
+	// reallocating. Machine reuse across experiment runs (machine.Reset)
+	// depends on reset policies reproducing a cold machine's victim
+	// decisions exactly.
+	Reset()
 }
 
 // Kind names a replacement policy for configuration.
@@ -72,6 +77,12 @@ func (l *LRUPolicy) Touch(set, way int) {
 	l.ages[set*l.ways+way] = l.ticks[set]
 }
 
+// Reset implements Policy.
+func (l *LRUPolicy) Reset() {
+	clear(l.ages)
+	clear(l.ticks)
+}
+
 // Victim implements Policy.
 func (l *LRUPolicy) Victim(set int) int {
 	base := set * l.ways
@@ -107,6 +118,13 @@ func NewTreePLRU(sets, ways int) Policy {
 }
 
 func (t *treePLRU) Name() string { return string(TreePLRU) }
+
+// Reset implements Policy.
+func (t *treePLRU) Reset() {
+	for _, b := range t.bits {
+		clear(b)
+	}
+}
 
 // Touch flips the tree bits along the path to way so they point away from it.
 func (t *treePLRU) Touch(set, way int) {
@@ -146,6 +164,7 @@ func (t *treePLRU) Victim(set int) int {
 // random picks victims with an xorshift64* PRNG so runs stay reproducible.
 type random struct {
 	ways  int
+	seed  uint64 // resolved construction seed, kept for Reset
 	state uint64
 }
 
@@ -155,11 +174,14 @@ func NewRandom(sets, ways int, seed uint64) Policy {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &random{ways: ways, state: seed}
+	return &random{ways: ways, seed: seed, state: seed}
 }
 
 func (r *random) Name() string       { return string(Random) }
 func (r *random) Touch(set, way int) {}
+
+// Reset implements Policy: the PRNG restarts from its construction seed.
+func (r *random) Reset() { r.state = r.seed }
 
 func (r *random) Victim(set int) int {
 	r.state ^= r.state >> 12

@@ -48,6 +48,17 @@ func (o Options) workers(n int) int {
 // failed job (with a single worker that is always the first error, i.e.
 // sequential semantics). The partial results are discarded on error.
 func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(n, opts, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// MapWorkers is Map with per-worker state: newState runs once in each worker
+// goroutine (and once total on the sequential path) and its value is handed
+// to every fn call that worker makes. Sweeps use it to give each worker a
+// machine.Pool, so consecutive jobs on one worker reuse a Reset machine
+// instead of rebuilding; because a reset machine is indistinguishable from a
+// fresh one, results remain bit-identical to Map at any worker count.
+func MapWorkers[S, T any](n int, opts Options, newState func() S, fn func(s S, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -56,8 +67,9 @@ func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 
 	if workers == 1 {
 		// Sequential fast path: no goroutines, exactly today's behavior.
+		s := newState()
 		for i := 0; i < n; i++ {
-			r, err := fn(i)
+			r, err := fn(s, i)
 			if err != nil {
 				return nil, err
 			}
@@ -93,12 +105,13 @@ func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := newState()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || failed.Load() {
 					return
 				}
-				r, err := fn(i)
+				r, err := fn(s, i)
 				if err != nil {
 					record(i, err)
 					return

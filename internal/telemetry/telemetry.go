@@ -17,7 +17,6 @@ import (
 	"time"
 
 	"timecache/internal/cache"
-	"timecache/internal/clock"
 	"timecache/internal/kernel"
 )
 
@@ -121,13 +120,15 @@ func (c *Collector) Detach() {
 // seeds, tool flags).
 func (c *Collector) SetMeta(key string, v any) { c.meta[key] = v }
 
-// ObserveAccess implements cache.Observer.
-func (c *Collector) ObserveAccess(now clock.Cycles, ctx int, addr uint64, kind cache.Kind, res cache.Result) {
-	c.hist.Observe(kind, res)
+// ObserveAccess implements cache.Observer: one callback per access, with
+// the full request trail.
+func (c *Collector) ObserveAccess(r *cache.Request) {
+	res := r.Result()
+	c.hist.Observe(r.Kind, res)
 	if c.cfg.TraceAccesses {
-		c.trace.Instant(Classify(res).String(), "access", ctx, now, map[string]any{
-			"addr": fmt.Sprintf("%#x", addr), "kind": kind.String(),
-			"latency": res.Latency, "level": res.Level,
+		c.trace.Instant(Classify(res).String(), "access", r.Ctx, r.Now, map[string]any{
+			"addr": fmt.Sprintf("%#x", r.Addr), "kind": r.Kind.String(),
+			"latency": r.Latency, "level": r.Level,
 		})
 	}
 }

@@ -26,7 +26,7 @@ import (
 	"timecache/internal/asm"
 	"timecache/internal/cache"
 	"timecache/internal/kernel"
-	"timecache/internal/mem"
+	"timecache/internal/machine"
 	"timecache/internal/telemetry"
 	"timecache/internal/vm"
 	"timecache/internal/workload"
@@ -115,46 +115,52 @@ func (c Config) withDefaults() Config {
 		c.Cores = 1
 	}
 	if c.PhysFrames == 0 {
-		c.PhysFrames = 32768
+		c.PhysFrames = machine.DefaultPhysFrames
 	}
 	return c
+}
+
+// machineConfig maps the public Config onto the machine assembly config.
+func (c Config) machineConfig() machine.Config {
+	return machine.Config{
+		Mode:              c.Mode.secMode(),
+		Cores:             c.Cores,
+		L1Size:            c.L1Size,
+		LLCSize:           c.LLCSize,
+		TimestampBits:     c.TimestampBits,
+		GateLevel:         c.GateLevel,
+		MaxSharers:        c.MaxSharers,
+		ConstantTimeFlush: c.ConstantTimeFlush,
+		Partitioned:       c.Partitioned,
+		RandomizedIndex:   c.RandomizedIndex,
+		CoherenceCheck:    c.CoherenceCheck,
+		SliceCycles:       c.SliceCycles,
+		PhysFrames:        c.PhysFrames,
+	}
 }
 
 // System is a simulated machine: cores, caches, physical memory, and the
 // kernel that schedules processes on it.
 type System struct {
 	cfg Config
+	m   *machine.Machine
 	k   *kernel.Kernel
 }
 
-// New builds a System from cfg.
+// New builds a System from cfg. Assembly happens in internal/machine; this
+// only translates the public Config.
 func New(cfg Config) (*System, error) {
+	return NewFromPool(nil, cfg)
+}
+
+// NewFromPool builds a System from cfg, reusing a machine from pool when one
+// of the identical shape exists (pool may be nil to always build fresh). A
+// reused machine is Reset first and runs exactly like a new one; sweep
+// drivers keep one pool per worker to avoid rebuilding per run.
+func NewFromPool(pool *machine.Pool, cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
-	hcfg := cache.DefaultHierarchyConfig()
-	hcfg.Cores = cfg.Cores
-	hcfg.Mode = cfg.Mode.secMode()
-	if cfg.L1Size != 0 {
-		hcfg.L1Size = cfg.L1Size
-	}
-	if cfg.LLCSize != 0 {
-		hcfg.LLCSize = cfg.LLCSize
-	}
-	if cfg.TimestampBits != 0 {
-		hcfg.Sec.TimestampBits = cfg.TimestampBits
-	}
-	hcfg.Sec.GateLevel = cfg.GateLevel
-	hcfg.Sec.MaxSharers = cfg.MaxSharers
-	hcfg.ConstantTimeFlush = cfg.ConstantTimeFlush
-	hcfg.Partitioned = cfg.Partitioned
-	hcfg.IndexRand = cfg.RandomizedIndex
-	hcfg.CoherenceCheck = cfg.CoherenceCheck
-	kcfg := kernel.DefaultConfig()
-	if cfg.SliceCycles != 0 {
-		kcfg.SliceCycles = cfg.SliceCycles
-	}
-	hier := cache.NewHierarchy(hcfg)
-	phys := mem.NewPhysical(cfg.PhysFrames, hcfg.DRAMLat)
-	return &System{cfg: cfg, k: kernel.New(kcfg, hier, phys)}, nil
+	m := pool.Get(cfg.machineConfig())
+	return &System{cfg: cfg, m: m, k: m.Kernel()}, nil
 }
 
 // Process is a handle on a spawned process.
