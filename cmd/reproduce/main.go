@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +31,13 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", "results", "directory for CSV output")
-		quick  = flag.Bool("quick", false, "reduced instruction budgets")
-		only   = flag.String("only", "", "run a single experiment")
-		instrs = flag.Uint64("instrs", 0, "override measured instructions per process")
-		warmup = flag.Uint64("warmup", 0, "override warmup instructions per process")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation runs (-j1 = sequential); output is byte-identical at any -j")
+		out     = flag.String("out", "results", "directory for CSV output")
+		quick   = flag.Bool("quick", false, "reduced instruction budgets")
+		only    = flag.String("only", "", "run a single experiment")
+		instrs  = flag.Uint64("instrs", 0, "override measured instructions per process")
+		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per process")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation runs (-j1 = sequential); output is byte-identical at any -j")
+		timeout = flag.Duration("timeout", 0, "overall deadline (e.g. 90s); on expiry the sweep stops cleanly and completed experiments keep their CSVs")
 
 		cohCheck = flag.Bool("coherence-check", false, "cross-check the LLC sharer directory against brute-force L1 probes on every coherence event (debug; slow)")
 
@@ -85,6 +88,11 @@ func main() {
 	}
 	opts.Jobs = *jobs
 	opts.CoherenceCheck = *cohCheck
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -121,14 +129,25 @@ func main() {
 		*only = a
 	}
 	ran := false
+	var completed []string
 	for _, e := range experiments {
 		if *only != "" && e.name != *only {
 			continue
 		}
 		ran = true
 		if err := e.run(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				fmt.Printf("reproduce: -timeout %s expired during %s; stopping.\n", *timeout, e.name)
+				if len(completed) > 0 {
+					fmt.Printf("reproduce: partial results: %v completed and written to %s/\n", completed, *out)
+				} else {
+					fmt.Printf("reproduce: partial results: no experiment completed; nothing written\n")
+				}
+				os.Exit(1)
+			}
 			fatal(fmt.Errorf("%s: %w", e.name, err))
 		}
+		completed = append(completed, e.name)
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *only))

@@ -1,0 +1,223 @@
+// Command timecache-bench-client load-tests a running timecache-serve: it
+// fires N jobs at bounded concurrency, respects 429 backpressure (honoring
+// Retry-After), waits for every job to finish, and reports end-to-end
+// latency percentiles.
+//
+// Usage:
+//
+//	timecache-bench-client -addr http://localhost:8080 -n 64 -c 64
+//	timecache-bench-client -addr ... -n 1 -pairs 2Xlbm,2Xgobmk,leslie+gobmk \
+//	    -instrs 60000 -warmup 40000 -want-golden results/golden/table2_slice.csv
+//
+// With -want-golden the first job's CSV result is compared byte-for-byte
+// against the given file; a mismatch exits nonzero (the CI smoke job uses
+// this to prove the HTTP path reproduces the golden artifact).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"timecache/internal/stats"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:8080", "server base URL")
+		n          = flag.Int("n", 64, "total jobs to submit")
+		c          = flag.Int("c", 64, "concurrent in-flight submissions")
+		experiment = flag.String("experiment", "table2", "experiment name")
+		pairs      = flag.String("pairs", "2Xlbm", "comma-separated pair labels (table2/llc-sweep/ablation)")
+		instrs     = flag.Uint64("instrs", 20_000, "instructions per process")
+		warmup     = flag.Uint64("warmup", 10_000, "warmup instructions per process")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "overall client deadline")
+		wantGolden = flag.String("want-golden", "", "compare the first job's CSV result to this file byte-for-byte")
+	)
+	flag.Parse()
+	if err := run(*addr, *n, *c, *experiment, *pairs, *instrs, *warmup, *timeout, *wantGolden); err != nil {
+		fmt.Fprintln(os.Stderr, "timecache-bench-client:", err)
+		os.Exit(1)
+	}
+}
+
+type clientResult struct {
+	latency time.Duration
+	retries int
+	csv     string
+	err     error
+}
+
+func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64, timeout time.Duration, wantGolden string) error {
+	spec := map[string]any{
+		"experiment":      experiment,
+		"instrs_per_proc": instrs,
+		"warmup_instrs":   warmup,
+	}
+	if pairs != "" {
+		spec["pairs"] = strings.Split(pairs, ",")
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: timeout}
+	deadline := time.Now().Add(timeout)
+	results := make([]clientResult, n)
+	sem := make(chan struct{}, max(1, c))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = oneJob(client, addr, body, deadline)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var lats []float64
+	retries := 0
+	failed := 0
+	for i, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "job %d: %v\n", i, r.err)
+			continue
+		}
+		lats = append(lats, float64(r.latency.Milliseconds()))
+		retries += r.retries
+	}
+
+	tab := stats.NewTable("metric", "value")
+	tab.Add("jobs", fmt.Sprintf("%d", n))
+	tab.Add("failed", fmt.Sprintf("%d", failed))
+	tab.Add("429-retries", fmt.Sprintf("%d", retries))
+	tab.Add("wall", wall.Round(time.Millisecond).String())
+	for _, p := range []float64{50, 90, 99} {
+		tab.Add(fmt.Sprintf("p%.0f-ms", p), stats.Percentile(lats, p/100))
+	}
+	if n > 0 && wall > 0 {
+		tab.Add("jobs-per-sec", float64(n-failed)/wall.Seconds())
+	}
+	fmt.Print(tab.String())
+
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, n)
+	}
+	if wantGolden != "" {
+		want, err := os.ReadFile(wantGolden)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(want, []byte(results[0].csv)) {
+			return fmt.Errorf("result diverged from %s\n--- want ---\n%s--- got ---\n%s",
+				wantGolden, want, results[0].csv)
+		}
+		fmt.Printf("result matches %s byte-for-byte\n", wantGolden)
+	}
+	return nil
+}
+
+// oneJob submits one job (retrying on 429 per Retry-After), waits for a
+// terminal state, and fetches the CSV result. Latency is submit-to-result.
+func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) clientResult {
+	var res clientResult
+	start := time.Now()
+
+	var id string
+	for {
+		if time.Now().After(deadline) {
+			res.err = fmt.Errorf("deadline exceeded before admission")
+			return res
+		}
+		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			res.err = err
+			return res
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			res.retries++
+			wait := time.Second
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			res.err = fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+			return res
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			res.err = fmt.Errorf("submit: decode: %w", err)
+			return res
+		}
+		id = st.ID
+		break
+	}
+
+	for {
+		if time.Now().After(deadline) {
+			res.err = fmt.Errorf("deadline exceeded waiting for %s", id)
+			return res
+		}
+		resp, err := client.Get(addr + "/v1/jobs/" + id)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			res.err = fmt.Errorf("status %s: decode: %w", id, err)
+			return res
+		}
+		switch st.State {
+		case "done":
+		case "failed", "cancelled":
+			res.err = fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+			return res
+		default:
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		break
+	}
+
+	resp, err := client.Get(addr + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		res.err = err
+		return res
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		res.err = fmt.Errorf("result %s: %s", id, resp.Status)
+		return res
+	}
+	res.csv = string(body)
+	res.latency = time.Since(start)
+	return res
+}

@@ -1,0 +1,102 @@
+// Command timecache-serve is the simulation job service daemon: it exposes
+// the experiment, attack, and sweep harness over a JSON/HTTP API so many
+// clients can share one warm simulator fleet instead of forking CLIs.
+//
+// Usage:
+//
+//	timecache-serve -addr :8080 -workers 4 -queue 64
+//
+// Endpoints (see internal/server and EXPERIMENTS.md for the job-spec
+// schema):
+//
+//	POST   /v1/jobs             submit a job (202; 429+Retry-After when full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel (stops a running simulation mid-slice)
+//	GET    /v1/jobs/{id}/events progress stream (SSE)
+//	GET    /v1/jobs/{id}/result result as ?format=csv|md|json
+//	GET    /v1/experiments      available experiment names
+//	GET    /healthz /readyz /metrics
+//
+// On SIGTERM/SIGINT the server stops admitting, finishes queued and running
+// jobs, and exits 0; a second signal (or -drain-grace expiring) hard-cancels
+// the remainder.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"timecache/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "job executors (one pooled machine set each)")
+		queue      = flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
+		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline (0 = unbounded; jobs may set timeout_ms)")
+		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long a graceful drain may wait for in-flight jobs")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *jobTimeout, *drainGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "timecache-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, jobTimeout, drainGrace time.Duration) error {
+	srv := server.New(server.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: jobTimeout,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("timecache-serve: listening on %s (%d workers, queue %d)\n",
+		ln.Addr(), workers, queue)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("timecache-serve: %s: draining (grace %s; signal again to hard-stop)\n", sig, drainGrace)
+	}
+
+	// Stop admitting and let in-flight jobs finish. A second signal cuts the
+	// grace period short.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	go func() {
+		<-sigc
+		fmt.Println("timecache-serve: second signal: hard-cancelling jobs")
+		cancel()
+	}()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Printf("timecache-serve: drain cut short: %v (all jobs reached terminal states)\n", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Println("timecache-serve: drained, exiting")
+	return nil
+}

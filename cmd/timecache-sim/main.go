@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"timecache"
 	"timecache/internal/machine"
@@ -46,6 +49,7 @@ func main() {
 		gate      = flag.Bool("gatelevel", false, "use the gate-level bit-serial comparator")
 		cohCheck  = flag.Bool("coherence-check", false, "cross-check the LLC sharer directory against brute-force L1 probes on every coherence event (debug; slow)")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent runs in the -llc-sweep path (-j1 = sequential)")
+		timeout   = flag.Duration("timeout", 0, "overall deadline (e.g. 30s); on expiry the run stops cleanly mid-simulation")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
@@ -94,15 +98,22 @@ func main() {
 	}
 	telemetryOn := tcfg != (telemetry.Config{}) || *showHist
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *llcSweep != "" {
-		if err := runLLCSweep(*llcSweep, *workloads, *instrs, *cores, *gate, *cohCheck, *jobs); err != nil {
-			fatal(err)
+		if err := runLLCSweep(ctx, *llcSweep, *workloads, *instrs, *cores, *gate, *cohCheck, *jobs); err != nil {
+			fatalCtx(err, *timeout)
 		}
 		return
 	}
 	if *compare {
-		if err := runCompare(*workloads, *instrs, *llc, *cores, *gate, *cohCheck, tcfg, telemetryOn, *showHist); err != nil {
-			fatal(err)
+		if err := runCompare(ctx, *workloads, *instrs, *llc, *cores, *gate, *cohCheck, tcfg, telemetryOn, *showHist); err != nil {
+			fatalCtx(err, *timeout)
 		}
 		return
 	}
@@ -110,9 +121,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cycles, st, col, err := runOnce(nil, mode, *workloads, *instrs, *llc, *cores, *gate, *cohCheck, tcfg, telemetryOn)
+	cycles, st, col, err := runOnce(ctx, nil, mode, *workloads, *instrs, *llc, *cores, *gate, *cohCheck, tcfg, telemetryOn)
 	if err != nil {
-		fatal(err)
+		fatalCtx(err, *timeout)
 	}
 	printStats(mode, cycles, st)
 	reportTelemetry(col, *showHist)
@@ -148,7 +159,7 @@ func expand(list string) []string {
 	return out
 }
 
-func runOnce(pool *machine.Pool, mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry bool) (uint64, timecache.Stats, *telemetry.Collector, error) {
+func runOnce(ctx context.Context, pool *machine.Pool, mode timecache.Mode, workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry bool) (uint64, timecache.Stats, *telemetry.Collector, error) {
 	sys, err := timecache.NewFromPool(pool, timecache.Config{
 		Mode: mode, LLCSize: llc, Cores: cores, GateLevel: gate,
 		CoherenceCheck: cohCheck,
@@ -172,7 +183,10 @@ func runOnce(pool *machine.Pool, mode timecache.Mode, workloads string, instrs u
 			return 0, timecache.Stats{}, nil, err
 		}
 	}
-	cycles := sys.Run(1 << 62)
+	cycles := sys.RunContext(ctx, 1<<62)
+	if err := ctx.Err(); err != nil {
+		return 0, timecache.Stats{}, nil, fmt.Errorf("stopped after %d cycles: %w", cycles, err)
+	}
 	if !sys.AllExited() {
 		return 0, timecache.Stats{}, nil, fmt.Errorf("workloads did not finish")
 	}
@@ -181,7 +195,9 @@ func runOnce(pool *machine.Pool, mode timecache.Mode, workloads string, instrs u
 			return 0, timecache.Stats{}, nil, err
 		}
 	}
-	return cycles, sys.Stats(), col, nil
+	st := sys.Stats()
+	sys.Release()
+	return cycles, st, col, nil
 }
 
 // parseSize parses a byte size with an optional K/KB/M/MB/G/GB suffix.
@@ -221,7 +237,7 @@ func sizeLabel(n int) string {
 // worker keeps a machine.Pool so legs with the same shape reuse one Reset
 // machine; a reset machine is indistinguishable from a fresh one, so the
 // table is byte-identical at any -j.
-func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate, cohCheck bool, jobs int) error {
+func runLLCSweep(ctx context.Context, sweep, workloads string, instrs uint64, cores int, gate, cohCheck bool, jobs int) error {
 	var sizes []int
 	for _, f := range strings.Split(sweep, ",") {
 		if strings.TrimSpace(f) == "" {
@@ -239,9 +255,9 @@ func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate, cohChe
 	// One job per (size, mode) leg; leg order is fixed so results regroup
 	// deterministically.
 	modes := []timecache.Mode{timecache.Baseline, timecache.TimeCache}
-	cycles, err := runner.MapWorkers(len(sizes)*len(modes), runner.Options{Workers: jobs}, machine.NewPool, func(pool *machine.Pool, i int) (uint64, error) {
+	cycles, err := runner.MapWorkersCtx(ctx, len(sizes)*len(modes), runner.Options{Workers: jobs}, machine.NewPool, func(pool *machine.Pool, i int) (uint64, error) {
 		size, mode := sizes[i/len(modes)], modes[i%len(modes)]
-		c, _, _, err := runOnce(pool, mode, workloads, instrs, size, cores, gate, cohCheck, telemetry.Config{}, false)
+		c, _, _, err := runOnce(ctx, pool, mode, workloads, instrs, size, cores, gate, cohCheck, telemetry.Config{}, false)
 		return c, err
 	})
 	if err != nil {
@@ -258,12 +274,12 @@ func runLLCSweep(sweep, workloads string, instrs uint64, cores int, gate, cohChe
 	return nil
 }
 
-func runCompare(workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry, showHist bool) error {
-	bCycles, _, _, err := runOnce(nil, timecache.Baseline, workloads, instrs, llc, cores, gate, cohCheck, telemetry.Config{}, false)
+func runCompare(ctx context.Context, workloads string, instrs uint64, llc, cores int, gate, cohCheck bool, tcfg telemetry.Config, withTelemetry, showHist bool) error {
+	bCycles, _, _, err := runOnce(ctx, nil, timecache.Baseline, workloads, instrs, llc, cores, gate, cohCheck, telemetry.Config{}, false)
 	if err != nil {
 		return err
 	}
-	tCycles, st, col, err := runOnce(nil, timecache.TimeCache, workloads, instrs, llc, cores, gate, cohCheck, tcfg, withTelemetry)
+	tCycles, st, col, err := runOnce(ctx, nil, timecache.TimeCache, workloads, instrs, llc, cores, gate, cohCheck, tcfg, withTelemetry)
 	if err != nil {
 		return err
 	}
@@ -306,4 +322,14 @@ func printStats(mode timecache.Mode, cycles uint64, st timecache.Stats) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "timecache-sim:", err)
 	os.Exit(1)
+}
+
+// fatalCtx distinguishes a -timeout expiry (expected, reported as a clean
+// partial-results stop) from a real failure.
+func fatalCtx(err error, timeout time.Duration) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "timecache-sim: -timeout %s expired: %v; partial results discarded\n", timeout, err)
+		os.Exit(1)
+	}
+	fatal(err)
 }

@@ -1,6 +1,8 @@
 package timecache
 
 import (
+	"context"
+
 	"timecache/internal/harness"
 	"timecache/internal/telemetry"
 	"timecache/internal/workload"
@@ -34,6 +36,11 @@ type ExperimentOptions struct {
 	// Progress, when non-nil, receives (done, total) after each completed
 	// run of a sweep. Calls are serialized.
 	Progress func(done, total int)
+	// Ctx, when non-nil, bounds every reproduction: cancellation or
+	// deadline expiry interrupts the simulated machines within a few
+	// thousand instructions and surfaces as Ctx's error. Nil means never
+	// cancelled.
+	Ctx context.Context
 }
 
 func (o ExperimentOptions) harness() harness.Options {
@@ -46,6 +53,7 @@ func (o ExperimentOptions) harness() harness.Options {
 		Telemetry:      o.Telemetry,
 		Jobs:           o.Jobs,
 		Progress:       o.Progress,
+		Ctx:            o.Ctx,
 	}
 }
 

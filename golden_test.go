@@ -13,13 +13,11 @@ package timecache_test
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"timecache/internal/harness"
-	"timecache/internal/runner"
 	"timecache/internal/stats"
 	"timecache/internal/workload"
 )
@@ -55,46 +53,34 @@ func slicePairs(t *testing.T) []workload.Pair {
 	return out
 }
 
-// tableIISlice runs the slice through the parallel runner and renders it in
-// cmd/reproduce's table2 format.
+// tableIISlice runs the slice through the job dispatch layer — the same
+// entry point the HTTP job service uses — so the checked-in artifact also
+// pins the service's result bytes.
 func tableIISlice(t *testing.T, jobs int) *stats.Table {
 	t.Helper()
 	pairs := slicePairs(t)
-	opts := goldenOpts(jobs)
-	rows, err := runner.Map(len(pairs), runner.Options{Workers: jobs}, func(i int) (harness.PairResult, error) {
-		return harness.RunSpecPair(pairs[i], opts)
-	})
+	labels := make([]string, len(pairs))
+	for i, p := range pairs {
+		labels[i] = p.Label
+	}
+	tab, err := harness.RunJob(harness.Job{Experiment: harness.ExpTableII, Pairs: labels}, goldenOpts(jobs))
 	if err != nil {
 		t.Fatalf("golden: table2 slice: %v", err)
-	}
-	tab := stats.NewTable("workload", "normalized", "mpki-base", "mpki-tc", "fa-l1i", "fa-l1d", "fa-llc")
-	for _, r := range rows {
-		tab.Add(r.Label, r.Normalized, r.MPKIBase, r.MPKITC,
-			r.FirstAccess.L1I, r.FirstAccess.L1D, r.FirstAccess.LLC)
 	}
 	return tab
 }
 
-// llcSweepPoint runs one Fig. 10 point (two pairs at 1 MB) and renders it in
-// cmd/reproduce's fig10 format.
+// llcSweepPoint runs one Fig. 10 point (two pairs at 1 MB) through the job
+// dispatch layer and renders it in cmd/reproduce's fig10 format.
 func llcSweepPoint(t *testing.T, jobs int) *stats.Table {
 	t.Helper()
-	var pairs []workload.Pair
-	for _, p := range workload.SpecPairs() {
-		if p.Label == "2Xnamd" || p.Label == "2Xmilc" {
-			pairs = append(pairs, p)
-		}
-	}
-	if len(pairs) != 2 {
-		t.Fatalf("golden: found %d of 2 sweep pairs", len(pairs))
-	}
-	pts, err := harness.RunLLCSensitivity([]int{1 << 20}, pairs, goldenOpts(jobs))
+	tab, err := harness.RunJob(harness.Job{
+		Experiment: harness.ExpLLCSweep,
+		Pairs:      []string{"2Xnamd", "2Xmilc"},
+		LLCSizes:   []int{1 << 20},
+	}, goldenOpts(jobs))
 	if err != nil {
 		t.Fatalf("golden: llc sweep: %v", err)
-	}
-	tab := stats.NewTable("llc", "geomean-normalized", "overhead-pct")
-	for _, p := range pts {
-		tab.Add(fmt.Sprintf("%dKB", p.LLCSize>>10), p.GeoMeanNorm, p.OverheadPct)
 	}
 	return tab
 }

@@ -1,0 +1,297 @@
+// Job dispatch: a declarative description of one experiment, attack, or
+// sweep run, decoupled from any CLI flag parsing, plus the renderers that
+// turn results into the exact tables cmd/reproduce and the golden artifacts
+// use. The HTTP job service (internal/server) and the golden tests both
+// funnel through this layer, so a job submitted over the network is
+// byte-identical to one run in-process.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"timecache/internal/attack"
+	"timecache/internal/cache"
+	"timecache/internal/stats"
+	"timecache/internal/workload"
+)
+
+// Experiment names Dispatchable job kinds.
+const (
+	ExpTableII     = "table2"      // SPEC pairs: Fig. 7/8, Table II rows
+	ExpParsec      = "parsec"      // PARSEC workloads: Fig. 9a/9b
+	ExpLLCSweep    = "llc-sweep"   // Fig. 10 LLC-size sensitivity
+	ExpAblation    = "ablation"    // defense comparison on one pair
+	ExpBookkeeping = "bookkeeping" // §VI-D slice-length scaling
+	ExpSecurity    = "security"    // §VI-A microbenchmark + RSA attack
+)
+
+// Experiments lists the dispatchable experiment names, sorted.
+func Experiments() []string {
+	out := []string{ExpTableII, ExpParsec, ExpLLCSweep, ExpAblation, ExpBookkeeping, ExpSecurity}
+	sort.Strings(out)
+	return out
+}
+
+// Job describes one dispatchable run. Zero-valued selection fields fall back
+// to each experiment's full default set, so {Experiment: "table2"} runs the
+// whole SPEC half of Table II while {Experiment: "table2", Pairs: ["2Xlbm"]}
+// runs one row.
+type Job struct {
+	// Experiment is one of the Exp* names.
+	Experiment string
+	// Pairs selects Table II / sweep / ablation workload pairs by label
+	// ("2Xlbm", "leslie+gobmk"). Empty selects the experiment's default:
+	// every pair for table2, the same-benchmark pairs for llc-sweep, and
+	// 2Xgobmk for ablation (which takes exactly one pair).
+	Pairs []string
+	// Workloads selects PARSEC workloads by name. Empty selects all.
+	Workloads []string
+	// LLCSizes are the llc-sweep points in bytes. Empty selects the Fig. 10
+	// default sweep (512 KB – 4 MB).
+	LLCSizes []int
+	// SliceCycles are the bookkeeping-scaling slice lengths. Empty selects
+	// the default ladder (100k – 800k).
+	SliceCycles []uint64
+	// KeyBits is the security experiment's RSA key length (default 64).
+	KeyBits int
+	// Seed seeds the security experiment's key generation (default 12345).
+	Seed uint64
+}
+
+// Validate checks the job before it is queued: the experiment must exist and
+// every named pair/workload must resolve. It is intentionally strict so the
+// job service can reject bad specs with a 400 instead of failing at run time.
+func (j Job) Validate() error {
+	switch j.Experiment {
+	case ExpTableII, ExpLLCSweep:
+		_, err := selectPairs(j.Pairs)
+		return err
+	case ExpAblation:
+		pairs, err := selectPairs(j.Pairs)
+		if err != nil {
+			return err
+		}
+		if len(j.Pairs) > 1 {
+			return fmt.Errorf("harness: ablation takes exactly one pair, got %d", len(pairs))
+		}
+		return nil
+	case ExpParsec:
+		for _, name := range j.Workloads {
+			if _, err := workload.Parsec(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ExpBookkeeping, ExpSecurity:
+		return nil
+	case "":
+		return fmt.Errorf("harness: job has no experiment (want one of %v)", Experiments())
+	default:
+		return fmt.Errorf("harness: unknown experiment %q (want one of %v)", j.Experiment, Experiments())
+	}
+}
+
+// selectPairs resolves pair labels against the Table II list, preserving
+// request order. Empty labels select every pair.
+func selectPairs(labels []string) ([]workload.Pair, error) {
+	all := workload.SpecPairs()
+	if len(labels) == 0 {
+		return all, nil
+	}
+	byLabel := make(map[string]workload.Pair, len(all))
+	for _, p := range all {
+		byLabel[p.Label] = p
+	}
+	out := make([]workload.Pair, 0, len(labels))
+	for _, l := range labels {
+		p, ok := byLabel[l]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown workload pair %q", l)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunJob validates and runs a job, returning its rendered result table. The
+// run obeys opts.Ctx (cancellation, deadlines), draws machines from
+// opts.Pool when set, and reports opts.Progress after each completed leg.
+func RunJob(j Job, opts Options) (*stats.Table, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	switch j.Experiment {
+	case ExpTableII:
+		pairs, _ := selectPairs(j.Pairs)
+		return TableIITable(pairs, opts)
+	case ExpParsec:
+		names := j.Workloads
+		if len(names) == 0 {
+			names = workload.ParsecNames()
+		}
+		return ParsecTable(names, opts)
+	case ExpLLCSweep:
+		pairs, _ := selectPairs(j.Pairs)
+		if len(j.Pairs) == 0 {
+			// Fig. 10 default: the same-benchmark pairs only.
+			pairs = samePairs(pairs)
+		}
+		sizes := j.LLCSizes
+		if len(sizes) == 0 {
+			sizes = []int{512 << 10, 1 << 20, 2 << 20, 4 << 20}
+		}
+		return LLCSweepTable(sizes, pairs, opts)
+	case ExpAblation:
+		pairs, _ := selectPairs(j.Pairs)
+		if len(j.Pairs) == 0 {
+			pairs, _ = selectPairs([]string{"2Xgobmk"})
+		}
+		return AblationTable(pairs[0], opts)
+	case ExpBookkeeping:
+		slices := j.SliceCycles
+		if len(slices) == 0 {
+			slices = []uint64{100_000, 200_000, 400_000, 800_000}
+		}
+		return BookkeepingTable(slices, opts)
+	case ExpSecurity:
+		keyBits, seed := j.KeyBits, j.Seed
+		if keyBits == 0 {
+			keyBits = 64
+		}
+		if seed == 0 {
+			seed = 12345
+		}
+		return SecurityTable(keyBits, seed, opts)
+	}
+	// Unreachable: Validate rejected everything else.
+	return nil, fmt.Errorf("harness: unknown experiment %q", j.Experiment)
+}
+
+func samePairs(pairs []workload.Pair) []workload.Pair {
+	var out []workload.Pair
+	for _, p := range pairs {
+		if p.A == p.B {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TableIITable runs the given pairs and renders them in the golden Table II
+// slice format (results/golden/table2_slice.csv): one row per pair with
+// normalized time, LLC MPKI under both modes, and per-level first-access
+// MPKI. The golden tests diff this exact rendering.
+func TableIITable(pairs []workload.Pair, opts Options) (*stats.Table, error) {
+	rows, err := RunSpecPairs(pairs, opts)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("workload", "normalized", "mpki-base", "mpki-tc", "fa-l1i", "fa-l1d", "fa-llc")
+	for _, r := range rows {
+		tab.Add(r.Label, r.Normalized, r.MPKIBase, r.MPKITC,
+			r.FirstAccess.L1I, r.FirstAccess.L1D, r.FirstAccess.LLC)
+	}
+	return tab, nil
+}
+
+// ParsecTable runs the named PARSEC workloads and renders them in the Table
+// II slice format.
+func ParsecTable(names []string, opts Options) (*stats.Table, error) {
+	rows, err := RunParsecSet(names, opts)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("workload", "normalized", "mpki-base", "mpki-tc", "fa-l1i", "fa-l1d", "fa-llc")
+	for _, r := range rows {
+		tab.Add(r.Label, r.Normalized, r.MPKIBase, r.MPKITC,
+			r.FirstAccess.L1I, r.FirstAccess.L1D, r.FirstAccess.LLC)
+	}
+	return tab, nil
+}
+
+// LLCSweepTable runs the Fig. 10 sweep over the given sizes and pairs and
+// renders it in the golden sweep format (results/golden/llc_sweep.csv).
+func LLCSweepTable(sizes []int, pairs []workload.Pair, opts Options) (*stats.Table, error) {
+	pts, err := RunLLCSensitivity(sizes, pairs, opts)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("llc", "geomean-normalized", "overhead-pct")
+	for _, p := range pts {
+		tab.Add(fmt.Sprintf("%dKB", p.LLCSize>>10), p.GeoMeanNorm, p.OverheadPct)
+	}
+	return tab, nil
+}
+
+// AblationTable runs the defense ablation on one pair and renders it in
+// cmd/reproduce's ablation format.
+func AblationTable(pair workload.Pair, opts Options) (*stats.Table, error) {
+	rows, err := RunDefenseAblation(pair, opts)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("defense", "normalized-time")
+	for _, r := range rows {
+		tab.Add(r.Defense, r.Normalized)
+	}
+	return tab, nil
+}
+
+// BookkeepingTable runs the §VI-D slice-length scaling and renders it in
+// cmd/reproduce's bookkeeping format.
+func BookkeepingTable(slices []uint64, opts Options) (*stats.Table, error) {
+	pts, err := RunBookkeepingScaling(workload.Pair{Label: "2Xnamd", A: "namd", B: "namd"}, slices, opts)
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("slice-cycles", "bookkeeping-pct", "total-overhead-pct")
+	for _, p := range pts {
+		tab.Add(fmt.Sprintf("%d", p.SliceCycles), p.BookkeepingPct, p.OverheadPct)
+	}
+	return tab, nil
+}
+
+// SecurityTable runs the §VI-A security evaluation (microbenchmark and RSA
+// flush+reload under baseline and TimeCache) and renders it in
+// cmd/reproduce's security format. The four runs are short and sequential;
+// Progress is reported after each.
+func SecurityTable(keyBits int, seed uint64, opts Options) (*stats.Table, error) {
+	opts = opts.withDefaults()
+	tab := stats.NewTable("experiment", "mode", "result")
+	modes := []cache.SecMode{cache.SecOff, cache.SecTimeCache}
+	total := 2 * len(modes)
+	done := 0
+	step := func() {
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, total)
+		}
+	}
+	for _, mode := range modes {
+		if err := opts.ctx().Err(); err != nil {
+			return nil, err
+		}
+		mb, err := attack.RunMicrobenchmark(mode)
+		if err != nil {
+			return nil, err
+		}
+		tab.Add("microbenchmark (§VI-A1)", mode.String(),
+			fmt.Sprintf("%d/%d lines hit", mb.Hits, mb.Lines))
+		step()
+	}
+	for _, mode := range modes {
+		if err := opts.ctx().Err(); err != nil {
+			return nil, err
+		}
+		rsa, err := attack.RunRSA(mode, keyBits, seed)
+		if err != nil {
+			return nil, err
+		}
+		tab.Add("RSA flush+reload (§VI-A2)", mode.String(),
+			fmt.Sprintf("%.0f%% of key bits, %d hits, victim correct=%v",
+				rsa.Accuracy*100, rsa.Hits, rsa.VictimCorrect))
+		step()
+	}
+	return tab, nil
+}

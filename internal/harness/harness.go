@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -52,11 +53,37 @@ type Options struct {
 	// Progress, when non-nil, is called after each completed run of a sweep
 	// with (done, total). Calls are serialized.
 	Progress func(done, total int)
+	// Ctx, when non-nil, bounds every run: cancellation stops the simulated
+	// machine within a few thousand instructions and surfaces as Ctx.Err()
+	// from the sweep entry point. Nil means never cancelled.
+	Ctx context.Context
+	// Pool, when non-nil, supplies (and receives back) the machines for
+	// every run instead of per-worker private pools. machine.Pool is safe
+	// for concurrent use, so one pool may serve a whole sweep — the job
+	// service shares one pool per service worker across all its jobs.
+	Pool *machine.Pool
 }
 
 // pool builds the runner options for this configuration.
 func (o Options) pool() runner.Options {
 	return runner.Options{Workers: o.Jobs, Progress: o.Progress}
+}
+
+// ctx returns the configured context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// newPool returns the machine pool for one sweep worker: the shared
+// Options.Pool when set, otherwise a fresh private pool.
+func (o Options) newPool() *machine.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return machine.NewPool()
 }
 
 // attachTelemetry attaches a collector for a run labeled label/mode, or
@@ -210,7 +237,9 @@ func runSpecPairOnce(pool *machine.Pool, pair workload.Pair, mode cache.SecMode,
 		return measurement{}, err
 	}
 	frames := workload.FramesNeeded(pa) + workload.FramesNeeded(pb) + 1024
-	k := pool.Get(machineConfig(mode, 1, opts, frames)).Kernel()
+	m := pool.Get(machineConfig(mode, 1, opts, frames))
+	defer pool.Put(m)
+	k := m.Kernel()
 	total := opts.WarmupInstrs + opts.InstrsPerProc
 	_, procA, err := workload.Spawn(k, pa, workload.SpawnOptions{Instrs: total, Seed: 1001})
 	if err != nil {
@@ -231,7 +260,10 @@ func runSpecPairOnce(pool *machine.Pool, pair workload.Pair, mode cache.SecMode,
 	procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
 	procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
 	col := opts.attachTelemetry(k, pair.Label, mode)
-	k.Run(1 << 62)
+	k.RunCtx(opts.ctx(), 1<<62)
+	if err := opts.ctx().Err(); err != nil {
+		return measurement{}, err
+	}
 	if !k.AllExited() {
 		return measurement{}, fmt.Errorf("harness: %s did not finish", pair.Label)
 	}
@@ -310,7 +342,14 @@ func runSpecPair(pool *machine.Pool, pair workload.Pair, opts Options) (PairResu
 // configuration (Reset between runs) instead of rebuilding.
 func RunAllSpecPairs(opts Options) ([]PairResult, error) {
 	pairs := workload.SpecPairs()
-	return runner.MapWorkers(len(pairs), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (PairResult, error) {
+	return RunSpecPairs(pairs, opts)
+}
+
+// RunSpecPairs measures an arbitrary selection of Fig. 7 / Table II pairs,
+// fanned out across Options.Jobs workers with pooled machines.
+func RunSpecPairs(pairs []workload.Pair, opts Options) ([]PairResult, error) {
+	opts = opts.withDefaults()
+	return runner.MapWorkersCtx(opts.ctx(), len(pairs), opts.pool(), opts.newPool, func(pool *machine.Pool, i int) (PairResult, error) {
 		return runSpecPair(pool, pairs[i], opts)
 	})
 }
@@ -323,7 +362,9 @@ func runParsecOnce(pool *machine.Pool, name string, mode cache.SecMode, opts Opt
 		return measurement{}, err
 	}
 	frames := workload.FramesNeeded(prof) + 1024
-	k := pool.Get(machineConfig(mode, 2, opts, frames)).Kernel()
+	m := pool.Get(machineConfig(mode, 2, opts, frames))
+	defer pool.Put(m)
+	k := m.Kernel()
 	as, err := workload.BuildSharedAS(k, prof)
 	if err != nil {
 		return measurement{}, err
@@ -345,7 +386,10 @@ func runParsecOnce(pool *machine.Pool, name string, mode cache.SecMode, opts Opt
 		}
 	}
 	col := opts.attachTelemetry(k, name, mode)
-	k.Run(1 << 62)
+	k.RunCtx(opts.ctx(), 1<<62)
+	if err := opts.ctx().Err(); err != nil {
+		return measurement{}, err
+	}
 	if !k.AllExited() {
 		return measurement{}, fmt.Errorf("harness: parsec %s did not finish", name)
 	}
@@ -381,7 +425,14 @@ func runParsec(pool *machine.Pool, name string, opts Options) (PairResult, error
 // fanned out across Options.Jobs workers with per-worker machine pools.
 func RunAllParsec(opts Options) ([]PairResult, error) {
 	names := workload.ParsecNames()
-	return runner.MapWorkers(len(names), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (PairResult, error) {
+	return RunParsecSet(names, opts)
+}
+
+// RunParsecSet measures an arbitrary selection of Fig. 9 workloads, fanned
+// out across Options.Jobs workers with pooled machines.
+func RunParsecSet(names []string, opts Options) ([]PairResult, error) {
+	opts = opts.withDefaults()
+	return runner.MapWorkersCtx(opts.ctx(), len(names), opts.pool(), opts.newPool, func(pool *machine.Pool, i int) (PairResult, error) {
 		return runParsec(pool, names[i], opts)
 	})
 }
@@ -400,7 +451,7 @@ type SensitivityPoint struct {
 // runs, instead of rebuilding the hierarchy per grid cell.
 func RunLLCSensitivity(sizes []int, pairs []workload.Pair, opts Options) ([]SensitivityPoint, error) {
 	opts = opts.withDefaults()
-	norms, err := runner.MapWorkers(len(sizes)*len(pairs), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (float64, error) {
+	norms, err := runner.MapWorkersCtx(opts.ctx(), len(sizes)*len(pairs), opts.pool(), opts.newPool, func(pool *machine.Pool, i int) (float64, error) {
 		o := opts
 		o.LLCSize = sizes[i/len(pairs)]
 		r, err := runSpecPair(pool, pairs[i%len(pairs)], o)
@@ -456,12 +507,14 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 	}
 	// Each defense configuration is an independent machine; run them all
 	// concurrently and normalize against the baseline's cycles afterwards.
-	cyclesFor, err := runner.MapWorkers(len(configs), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (uint64, error) {
+	cyclesFor, err := runner.MapWorkersCtx(opts.ctx(), len(configs), opts.pool(), opts.newPool, func(pool *machine.Pool, i int) (uint64, error) {
 		cfgDef := configs[i]
 		mcfg := machineConfig(cfgDef.mode, 1, opts, frames)
 		mcfg.Partitioned = cfgDef.partitioned
 		mcfg.FlushOnSwitch = cfgDef.flushOnSwitch
-		k := pool.Get(mcfg).Kernel()
+		m := pool.Get(mcfg)
+		defer pool.Put(m)
+		k := m.Kernel()
 		var warm measurement
 		warmed := 0
 		onWarm := func() {
@@ -481,7 +534,10 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 		}
 		procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
 		procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
-		k.Run(1 << 62)
+		k.RunCtx(opts.ctx(), 1<<62)
+		if err := opts.ctx().Err(); err != nil {
+			return 0, err
+		}
 		if !k.AllExited() || warmed != 2 {
 			return 0, fmt.Errorf("harness: ablation %s/%s did not finish", pair.Label, cfgDef.name)
 		}
@@ -512,7 +568,7 @@ type BookkeepingPoint struct {
 // 1–10 ms scheduler quanta, converging on the paper's ~0.02% figure.
 func RunBookkeepingScaling(pair workload.Pair, slices []uint64, opts Options) ([]BookkeepingPoint, error) {
 	opts = opts.withDefaults()
-	return runner.MapWorkers(len(slices), opts.pool(), machine.NewPool, func(pool *machine.Pool, i int) (BookkeepingPoint, error) {
+	return runner.MapWorkersCtx(opts.ctx(), len(slices), opts.pool(), opts.newPool, func(pool *machine.Pool, i int) (BookkeepingPoint, error) {
 		o := opts
 		o.SliceCycles = slices[i]
 		r, err := runSpecPair(pool, pair, o)

@@ -1,7 +1,9 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"timecache/internal/cache"
 	"timecache/internal/clock"
@@ -150,6 +152,11 @@ type Kernel struct {
 
 	probe Probe
 
+	// interrupted is set asynchronously by Interrupt and polled by Run at a
+	// coarse stride; it is the only kernel field another goroutine may touch
+	// while the machine runs.
+	interrupted atomic.Bool
+
 	Stats Stats
 }
 
@@ -221,6 +228,7 @@ func (k *Kernel) Reset() {
 		c.sliceEnd, c.sliceInstrs, c.runStart = 0, 0, 0
 	}
 	k.kernelText = k.kernelText[:0]
+	k.interrupted.Store(false)
 	k.allocKernelText()
 }
 
@@ -502,10 +510,56 @@ func (k *Kernel) endRunSpan(c *coreState, p *Process) {
 	}
 }
 
+// Interrupt asks a Run in progress (possibly on another goroutine) to stop
+// at its next checkpoint. The request is sticky: it persists until
+// ClearInterrupt or Reset, so an interrupt delivered between runs still
+// stops the next Run immediately. Interrupt never perturbs simulated state —
+// an interrupted run simply ends early, and Interrupted()/AllExited() tell
+// the caller it did.
+func (k *Kernel) Interrupt() { k.interrupted.Store(true) }
+
+// Interrupted reports whether an Interrupt request is pending.
+func (k *Kernel) Interrupted() bool { return k.interrupted.Load() }
+
+// ClearInterrupt withdraws a pending Interrupt request.
+func (k *Kernel) ClearInterrupt() { k.interrupted.Store(false) }
+
+// interruptStride is how many scheduler steps Run executes between polls of
+// the interrupt flag: coarse enough that the atomic load vanishes against
+// the cost of a step, fine enough that cancellation lands in microseconds.
+const interruptStride = 1024
+
+// RunCtx is Run bounded by a context: when ctx is cancelled (client
+// disconnect, deadline, SIGTERM drain) the machine stops at the next
+// interrupt checkpoint and RunCtx returns the clock reached so far. The
+// caller distinguishes completion from cancellation via ctx.Err() and
+// AllExited. A nil or never-cancelled context behaves exactly like Run.
+func (k *Kernel) RunCtx(ctx context.Context, maxCycles uint64) uint64 {
+	if ctx == nil || ctx.Done() == nil {
+		return k.Run(maxCycles)
+	}
+	if ctx.Err() != nil {
+		return k.maxClock()
+	}
+	// After a cancelled run the flag intentionally stays set: the machine is
+	// mid-workload and must be Reset before reuse (Reset clears it), so a
+	// stray late-firing callback can never corrupt a subsequent run.
+	stop := context.AfterFunc(ctx, k.Interrupt)
+	defer stop()
+	return k.Run(maxCycles)
+}
+
 // Run advances the machine until every process has exited or any core's
 // clock passes maxCycles. It returns the maximum core clock reached.
 func (k *Kernel) Run(maxCycles uint64) uint64 {
+	sincePoll := interruptStride - 1 // poll on the first iteration
 	for {
+		if sincePoll++; sincePoll >= interruptStride {
+			sincePoll = 0
+			if k.interrupted.Load() {
+				break
+			}
+		}
 		// Pick the live core whose next event is earliest, keeping
 		// cross-core interleaving fine-grained, deterministic, and causally
 		// ordered. A core whose processes are all sleeping will fast-forward
@@ -536,6 +590,11 @@ func (k *Kernel) Run(maxCycles uint64) uint64 {
 		}
 		k.stepCurrent(c)
 	}
+	return k.maxClock()
+}
+
+// maxClock returns the highest core clock.
+func (k *Kernel) maxClock() uint64 {
 	var maxT uint64
 	for _, c := range k.cores {
 		if c.clock.Now() > maxT {

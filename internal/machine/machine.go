@@ -16,6 +16,8 @@
 package machine
 
 import (
+	"sync"
+
 	"timecache/internal/cache"
 	"timecache/internal/kernel"
 	"timecache/internal/mem"
@@ -181,39 +183,66 @@ func (m *Machine) AttachTelemetry(cfg telemetry.Config) *telemetry.Collector {
 	return telemetry.New(cfg).Attach(m.k)
 }
 
-// Pool reuses machines across experiment runs, keyed by Config. Get returns
-// a Reset machine when one with the identical config was built earlier, so a
-// sweep worker running many legs of the same shape pays construction once.
+// Pool reuses machines across experiment runs, keyed by Config. Get checks a
+// machine out of the pool (after Reset) when one with the identical config
+// was Put back earlier, so a worker running many legs of the same shape pays
+// construction once; Put returns a machine for later reuse.
 //
-// A Pool is not safe for concurrent use: parallel sweeps give each worker
-// its own pool (see runner.MapWorkers). A nil *Pool is valid and simply
-// builds a fresh machine per Get.
+// A Pool is safe for concurrent use from any number of goroutines: Get and
+// Put hand each machine to exactly one owner at a time, so sweep workers and
+// the job service can share one pool (runner.MapWorkers still supports
+// per-worker pools where isolation is preferred). A nil *Pool is valid: Get
+// builds a fresh machine and Put discards.
 type Pool struct {
-	machines map[Config]*Machine
+	mu       sync.Mutex
+	machines map[Config][]*Machine
 }
 
 // NewPool returns an empty pool.
-func NewPool() *Pool { return &Pool{machines: map[Config]*Machine{}} }
+func NewPool() *Pool { return &Pool{machines: map[Config][]*Machine{}} }
 
 // Get returns a machine assembled from cfg: a pooled one (after Reset) when
-// available, a fresh one (retained for future Gets) otherwise.
+// available, a fresh one otherwise. The caller owns the machine exclusively
+// until it Puts it back; a machine that is never Put is simply dropped.
 func (p *Pool) Get(cfg Config) *Machine {
 	if p == nil {
 		return New(cfg)
 	}
-	if m, ok := p.machines[cfg]; ok {
+	p.mu.Lock()
+	if list := p.machines[cfg]; len(list) > 0 {
+		m := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.machines[cfg] = list[:len(list)-1]
+		p.mu.Unlock()
 		m.Reset()
 		return m
 	}
-	m := New(cfg)
-	p.machines[cfg] = m
-	return m
+	p.mu.Unlock()
+	return New(cfg)
 }
 
-// Size returns the number of distinct machine shapes the pool holds.
+// Put returns a machine to the pool for a later Get with the same Config.
+// The machine may be dirty — Get Resets before reuse — but must no longer be
+// running. Put on a nil pool discards the machine.
+func (p *Pool) Put(m *Machine) {
+	if p == nil || m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.machines[m.cfg] = append(p.machines[m.cfg], m)
+	p.mu.Unlock()
+}
+
+// Size returns the number of idle machines the pool currently holds.
 func (p *Pool) Size() int {
 	if p == nil {
 		return 0
 	}
-	return len(p.machines)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, list := range p.machines {
+		n += len(list)
+	}
+	return n
 }

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"timecache/internal/cache"
@@ -135,22 +136,28 @@ func TestResetDetachesTelemetry(t *testing.T) {
 	}
 }
 
-// TestPoolReuse pins the pool contract: same config → same machine
-// (reset), different config → different machine, nil pool → always fresh.
+// TestPoolReuse pins the pool contract: Get after Put with the same config
+// returns the same machine (reset), concurrent checkouts and different
+// configs get distinct machines, nil pool → always fresh.
 func TestPoolReuse(t *testing.T) {
 	p := NewPool()
 	a := Config{Mode: cache.SecTimeCache, PhysFrames: 8192}
 	b := Config{Mode: cache.SecOff, PhysFrames: 8192}
 
 	m1 := p.Get(a)
+	if m2 := p.Get(a); m2 == m1 {
+		t.Fatal("pool handed out a checked-out machine twice")
+	}
+	p.Put(m1)
 	if m2 := p.Get(a); m2 != m1 {
-		t.Fatal("pool did not reuse the machine for an identical config")
+		t.Fatal("pool did not reuse the returned machine for an identical config")
 	}
 	if m3 := p.Get(b); m3 == m1 {
 		t.Fatal("pool returned the same machine for a different config")
 	}
-	if p.Size() != 2 {
-		t.Fatalf("pool holds %d shapes, want 2", p.Size())
+	p.Put(m1)
+	if p.Size() != 1 {
+		t.Fatalf("pool holds %d idle machines, want 1", p.Size())
 	}
 
 	var nilPool *Pool
@@ -158,8 +165,63 @@ func TestPoolReuse(t *testing.T) {
 	if n1 == nil || n2 == nil || n1 == n2 {
 		t.Fatal("nil pool must build a fresh machine per Get")
 	}
+	nilPool.Put(n1) // must not panic
 	if nilPool.Size() != 0 {
 		t.Fatal("nil pool reports nonzero size")
+	}
+}
+
+// TestPoolConcurrent hammers one shared pool from 8 goroutines under -race:
+// every goroutine repeatedly checks machines out, runs a short workload on
+// them, and puts them back. Each checked-out machine must behave exactly
+// like a private fresh machine — the fingerprints prove no two goroutines
+// ever shared simulator state, and the race detector proves the pool's own
+// bookkeeping is synchronized.
+func TestPoolConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pool := NewPool()
+	cfgs := []Config{
+		{Mode: cache.SecTimeCache, PhysFrames: 8192},
+		{Mode: cache.SecOff, PhysFrames: 8192},
+	}
+	// Reference fingerprints from private fresh machines.
+	want := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = runWorkloadPair(t, New(cfg))
+	}
+
+	const goroutines = 8
+	const itersPer = 6
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < itersPer; i++ {
+				ci := (g + i) % len(cfgs)
+				m := pool.Get(cfgs[ci])
+				got := runWorkloadPair(t, m)
+				pool.Put(m)
+				if got != want[ci] {
+					errc <- fmt.Errorf("goroutine %d iter %d: pooled machine diverged:\n got %s\nwant %s", g, i, got, want[ci])
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Size() > goroutines*len(cfgs) {
+		t.Fatalf("pool grew unboundedly: %d idle machines", pool.Size())
 	}
 }
 
@@ -202,6 +264,8 @@ func BenchmarkSweepReuse(b *testing.B) {
 	pool := NewPool()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		runWorkloadPair(b, pool.Get(cfg))
+		m := pool.Get(cfg)
+		runWorkloadPair(b, m)
+		pool.Put(m)
 	}
 }

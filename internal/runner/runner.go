@@ -12,6 +12,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -48,7 +49,14 @@ func (o Options) workers(n int) int {
 // failed job (with a single worker that is always the first error, i.e.
 // sequential semantics). The partial results are discarded on error.
 func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
-	return MapWorkers(n, opts, func() struct{} { return struct{}{} },
+	return MapCtx(context.Background(), n, opts, fn)
+}
+
+// MapCtx is Map bounded by a context: no new job starts once ctx is
+// cancelled, in-flight jobs are waited for, and the cancellation surfaces as
+// ctx.Err() unless an earlier-indexed job already failed on its own.
+func MapCtx[T any](ctx context.Context, n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkersCtx(ctx, n, opts, func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) (T, error) { return fn(i) })
 }
 
@@ -59,8 +67,20 @@ func Map[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 // instead of rebuilding; because a reset machine is indistinguishable from a
 // fresh one, results remain bit-identical to Map at any worker count.
 func MapWorkers[S, T any](n int, opts Options, newState func() S, fn func(s S, i int) (T, error)) ([]T, error) {
+	return MapWorkersCtx(context.Background(), n, opts, newState, fn)
+}
+
+// MapWorkersCtx is MapWorkers bounded by a context. Cancellation is checked
+// before each job is handed out, so a cancelled sweep stops at the next run
+// boundary; runs that are themselves ctx-aware (the harness passes the same
+// context into the kernel) stop mid-run too. Results are all-or-nothing,
+// exactly like an fn error.
+func MapWorkersCtx[S, T any](ctx context.Context, n int, opts Options, newState func() S, fn func(s S, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	results := make([]T, n)
 	workers := opts.workers(n)
@@ -69,6 +89,9 @@ func MapWorkers[S, T any](n int, opts Options, newState func() S, fn func(s S, i
 		// Sequential fast path: no goroutines, exactly today's behavior.
 		s := newState()
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := fn(s, i)
 			if err != nil {
 				return nil, err
@@ -109,6 +132,10 @@ func MapWorkers[S, T any](n int, opts Options, newState func() S, fn func(s S, i
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					record(i, err)
 					return
 				}
 				r, err := fn(s, i)

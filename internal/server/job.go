@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"timecache/internal/harness"
+	"timecache/internal/stats"
+)
+
+// Spec is the wire-format job description accepted by POST /v1/jobs. It
+// mirrors the cmd/reproduce and cmd/timecache-sim flag surface: an experiment
+// name, the workload selection, and the machine/fidelity overrides. Zero
+// values defer to the same defaults the CLIs use.
+type Spec struct {
+	// Experiment is one of harness.Experiments() ("table2", "parsec",
+	// "llc-sweep", "ablation", "bookkeeping", "security").
+	Experiment string `json:"experiment"`
+	// Pairs selects SPEC workload pairs by Table II label ("2Xlbm",
+	// "leslie+gobmk"). Empty runs the experiment's default set.
+	Pairs []string `json:"pairs,omitempty"`
+	// Workloads selects PARSEC workloads by name. Empty runs all.
+	Workloads []string `json:"workloads,omitempty"`
+	// LLCSizesKB are llc-sweep points in KB (mirrors -llc on the sweep
+	// path). Empty selects the Fig. 10 default ladder.
+	LLCSizesKB []int `json:"llc_sizes_kb,omitempty"`
+	// SliceLadder are the bookkeeping-scaling slice lengths in cycles.
+	SliceLadder []uint64 `json:"slice_ladder,omitempty"`
+	// KeyBits and Seed parameterize the security experiment's RSA victim.
+	KeyBits int    `json:"key_bits,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+
+	// InstrsPerProc and WarmupInstrs mirror -instrs/-warmup: the measured
+	// and warmup instruction budgets per process.
+	InstrsPerProc uint64 `json:"instrs_per_proc,omitempty"`
+	WarmupInstrs  uint64 `json:"warmup_instrs,omitempty"`
+	// LLCSizeKB overrides the machine's LLC size (mirrors -llc).
+	LLCSizeKB int `json:"llc_size_kb,omitempty"`
+	// GateLevel routes context-switch comparisons through the gate-level
+	// bit-serial model (mirrors -gatelevel).
+	GateLevel bool `json:"gate_level,omitempty"`
+	// SliceCycles overrides the scheduler time slice (mirrors -slice).
+	SliceCycles uint64 `json:"slice_cycles,omitempty"`
+	// Jobs is the within-job sweep parallelism (mirrors -j). Default 1 so
+	// concurrent service jobs do not multiply against each other.
+	Jobs int `json:"jobs,omitempty"`
+	// TimeoutMS bounds the job's run time; the job fails with a deadline
+	// error when exceeded. Zero uses the server's default (if any).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// harnessJob translates the selection half of the spec.
+func (s Spec) harnessJob() harness.Job {
+	sizes := make([]int, len(s.LLCSizesKB))
+	for i, kb := range s.LLCSizesKB {
+		sizes[i] = kb << 10
+	}
+	return harness.Job{
+		Experiment:  s.Experiment,
+		Pairs:       s.Pairs,
+		Workloads:   s.Workloads,
+		LLCSizes:    sizes,
+		SliceCycles: s.SliceLadder,
+		KeyBits:     s.KeyBits,
+		Seed:        s.Seed,
+	}
+}
+
+// validate rejects malformed specs before they are queued.
+func (s Spec) validate() error {
+	if s.Jobs < 0 {
+		return fmt.Errorf("jobs must be >= 0, got %d", s.Jobs)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0, got %d", s.TimeoutMS)
+	}
+	for _, kb := range s.LLCSizesKB {
+		if kb <= 0 {
+			return fmt.Errorf("llc_sizes_kb entries must be positive, got %d", kb)
+		}
+	}
+	if s.LLCSizeKB < 0 {
+		return fmt.Errorf("llc_size_kb must be >= 0, got %d", s.LLCSizeKB)
+	}
+	return s.harnessJob().Validate()
+}
+
+// options translates the fidelity half of the spec into harness options for
+// one run. jobs defaults to 1: the service's parallelism unit is the job,
+// not the sweep leg, unless the client asks otherwise.
+func (s Spec) options() harness.Options {
+	jobs := s.Jobs
+	if jobs == 0 {
+		jobs = 1
+	}
+	return harness.Options{
+		InstrsPerProc: s.InstrsPerProc,
+		WarmupInstrs:  s.WarmupInstrs,
+		LLCSize:       s.LLCSizeKB << 10,
+		GateLevel:     s.GateLevel,
+		SliceCycles:   s.SliceCycles,
+		Jobs:          jobs,
+	}
+}
+
+// State is a job lifecycle state. Transitions are strictly
+// queued → running → {done, failed, cancelled}, except that a queued job may
+// go directly to cancelled (client DELETE before a worker picks it up).
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Status is the wire representation of a job's current state, returned by
+// GET /v1/jobs/{id} and embedded in SSE state events.
+type Status struct {
+	ID         string     `json:"id"`
+	State      State      `json:"state"`
+	Experiment string     `json:"experiment"`
+	Error      string     `json:"error,omitempty"`
+	Done       int        `json:"progress_done"`
+	Total      int        `json:"progress_total"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+}
+
+// job is the server-side job record. The mutex guards every mutable field;
+// done is closed exactly once, when the job reaches a terminal state.
+type job struct {
+	id   string
+	spec Spec
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	table    *stats.Table
+	done     int
+	total    int
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	events *eventLog
+	doneCh chan struct{}
+}
+
+func newJob(id string, spec Spec, now time.Time) *job {
+	return &job{
+		id:      id,
+		spec:    spec,
+		state:   StateQueued,
+		created: now,
+		events:  newEventLog(),
+		doneCh:  make(chan struct{}),
+	}
+}
+
+// status snapshots the job for serialization.
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked is status for callers already holding j.mu.
+func (j *job) statusLocked() Status {
+	st := Status{
+		ID:         j.id,
+		State:      j.state,
+		Experiment: j.spec.Experiment,
+		Error:      j.errMsg,
+		Done:       j.done,
+		Total:      j.total,
+		Created:    j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// result returns the finished table, or an error describing why none exists.
+func (j *job) result() (*stats.Table, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateDone:
+		return j.table, nil
+	case j.state.Terminal():
+		return nil, fmt.Errorf("job %s %s: %s", j.id, j.state, j.errMsg)
+	default:
+		return nil, fmt.Errorf("job %s is %s; result not ready", j.id, j.state)
+	}
+}
+
+// event is one SSE frame: a named event with a JSON payload.
+type event struct {
+	name string
+	data []byte
+}
+
+// eventLog is a replayable broadcast channel for one job's SSE stream. Every
+// published event is appended to history; a subscriber first receives the
+// full history, then live events. closed marks end-of-stream (terminal job
+// state): subscribers' channels are closed after the history drains.
+type eventLog struct {
+	mu     sync.Mutex
+	hist   []event
+	subs   map[chan event]struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: map[chan event]struct{}{}}
+}
+
+// publish appends an event and fans it out to live subscribers. Subscriber
+// channels are buffered; a subscriber that stopped draining is dropped
+// rather than blocking the publisher (it already has the history replayed,
+// and SSE clients reconnect).
+func (l *eventLog) publish(name string, data []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev := event{name: name, data: data}
+	l.hist = append(l.hist, ev)
+	for ch := range l.subs {
+		select {
+		case ch <- ev:
+		default:
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream: no further events are accepted and every
+// subscriber's channel is closed once drained.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		close(ch)
+	}
+	l.subs = map[chan event]struct{}{}
+}
+
+// subscribe returns the event history so far plus a channel of subsequent
+// events (nil when the stream already ended) and an unsubscribe function.
+func (l *eventLog) subscribe() ([]event, chan event, func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	hist := append([]event(nil), l.hist...)
+	if l.closed {
+		return hist, nil, func() {}
+	}
+	ch := make(chan event, 64)
+	l.subs[ch] = struct{}{}
+	return hist, ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if _, ok := l.subs[ch]; ok {
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}

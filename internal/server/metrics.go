@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timecache/internal/telemetry"
+)
+
+// metrics is the /metrics endpoint's state, rendered in the Prometheus text
+// exposition format. Job durations reuse telemetry.Histogram — the same
+// log2-bucketed histogram the simulator uses for access latencies — so the
+// service layer and the simulator report through one mechanism.
+type metrics struct {
+	jobsAccepted atomic.Int64
+	jobsRejected atomic.Int64
+	jobsRunning  atomic.Int64
+	queueDepth   atomic.Int64
+
+	mu       sync.Mutex
+	finished map[State]int64
+	duration telemetry.Histogram // job wall time, milliseconds
+}
+
+func newMetrics() *metrics {
+	return &metrics{finished: map[State]int64{}}
+}
+
+// finish records one terminal job.
+func (m *metrics) finish(state State, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished[state]++
+	m.duration.Observe(uint64(d.Milliseconds()))
+}
+
+// render produces the Prometheus text format.
+func (m *metrics) render() string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("timecache_jobs_accepted_total", "Jobs admitted to the queue.", m.jobsAccepted.Load())
+	counter("timecache_jobs_rejected_total", "Jobs rejected with 429 (queue full).", m.jobsRejected.Load())
+	gauge("timecache_jobs_running", "Jobs currently executing.", m.jobsRunning.Load())
+	gauge("timecache_queue_depth", "Jobs accepted but not yet running.", m.queueDepth.Load())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(&b, "# HELP timecache_jobs_finished_total Jobs reaching a terminal state.\n")
+	fmt.Fprintf(&b, "# TYPE timecache_jobs_finished_total counter\n")
+	states := make([]string, 0, len(m.finished))
+	for st := range m.finished {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(&b, "timecache_jobs_finished_total{state=%q} %d\n", st, m.finished[State(st)])
+	}
+
+	fmt.Fprintf(&b, "# HELP timecache_job_duration_ms Job wall time in milliseconds.\n")
+	fmt.Fprintf(&b, "# TYPE timecache_job_duration_ms summary\n")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(&b, "timecache_job_duration_ms{quantile=\"%g\"} %d\n", q, m.duration.Quantile(q))
+	}
+	fmt.Fprintf(&b, "timecache_job_duration_ms_sum %d\n", m.duration.Sum)
+	fmt.Fprintf(&b, "timecache_job_duration_ms_count %d\n", m.duration.Count)
+	return b.String()
+}

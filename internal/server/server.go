@@ -1,0 +1,458 @@
+// Package server is the simulation job service: a long-running daemon that
+// serves experiment, attack, and sweep jobs over a JSON/HTTP API.
+//
+// Jobs are submitted to POST /v1/jobs as a Spec (experiment name + workload
+// selection + machine overrides, mirroring the CLI flags), admitted into a
+// bounded queue, and executed by a fixed worker pool — one machine.Pool per
+// worker, so hot simulator state is reused across jobs exactly like the
+// batch sweeps reuse it across legs, and results remain byte-identical to
+// the CLIs and the golden artifacts (the dispatch layer in internal/harness
+// is shared). When the queue is full the server answers 429 with
+// Retry-After instead of buffering unboundedly; when draining it answers
+// 503. Progress streams over SSE from GET /v1/jobs/{id}/events; results are
+// retrievable as CSV, markdown, or JSON. DELETE /v1/jobs/{id} cancels a job
+// mid-run: the per-job context interrupts the simulated machine within a
+// few thousand instructions.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timecache/internal/harness"
+	"timecache/internal/machine"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of job executors. Each worker owns one private
+	// machine.Pool. Zero starts no workers — jobs queue but never run —
+	// which tests use to pin queue behavior deterministically; the
+	// timecache-serve CLI defaults this to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue (jobs accepted but not yet
+	// running). Zero defaults to 64. A full queue rejects with 429.
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not set Spec.TimeoutMS. Zero
+	// means unbounded.
+	DefaultTimeout time.Duration
+	// RetryAfter is the Retry-After hint (seconds) sent with 429 responses.
+	// Zero defaults to 1.
+	RetryAfter int
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) retryAfter() int {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return 1
+}
+
+// Cancellation causes, distinguished from deadline expiry via
+// context.Cause: a client cancel or a drain hard-stop lands the job in
+// StateCancelled; everything else (including deadline) is StateFailed.
+var (
+	errClientCancel = errors.New("cancelled by client")
+	errDrainStop    = errors.New("cancelled by server drain")
+)
+
+// Server is the job service. Create with New, mount via Handler, stop with
+// Drain. The zero value is not usable.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // job IDs in submission order, for GET /v1/jobs
+
+	nextID    atomic.Uint64
+	running   atomic.Int64
+	draining  atomic.Bool
+	closeOnce sync.Once
+	workers   sync.WaitGroup
+
+	metrics *metrics
+	now     func() time.Time
+}
+
+// New builds a server and starts its workers.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.queueDepth()),
+		jobs:    map[string]*job{},
+		metrics: newMetrics(),
+		now:     time.Now,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully stops the server: new submissions are rejected with 503,
+// queued and running jobs are allowed to finish, and Drain returns when the
+// workers exit. If ctx expires first, every unfinished job is hard-cancelled
+// (reaching StateCancelled — never silently dropped) and Drain returns
+// ctx.Err() after the workers unwind.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.closeOnce.Do(func() { close(s.queue) })
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		jobs := make([]*job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			jobs = append(jobs, j)
+		}
+		s.mu.Unlock()
+		for _, j := range jobs {
+			if j.cancel != nil {
+				j.cancel(errDrainStop)
+			}
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker executes queued jobs until the queue closes. Each worker owns one
+// machine pool; pooled machines are Reset between jobs, which the golden
+// tests prove is invisible in the results.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	pool := machine.NewPool()
+	for j := range s.queue {
+		s.runJob(j, pool)
+	}
+}
+
+// runJob drives one job from queued to a terminal state.
+func (s *Server) runJob(j *job, pool *machine.Pool) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = s.now()
+	j.mu.Unlock()
+	s.running.Add(1)
+	s.metrics.jobsRunning.Store(s.running.Load())
+	s.publishState(j)
+
+	opts := j.spec.options()
+	opts.Ctx = j.ctx
+	opts.Pool = pool
+	opts.Progress = func(done, total int) {
+		j.mu.Lock()
+		j.done, j.total = done, total
+		j.mu.Unlock()
+		j.events.publish("progress", mustJSON(map[string]int{"done": done, "total": total}))
+	}
+
+	tab, err := harness.RunJob(j.spec.harnessJob(), opts)
+
+	finished := s.now()
+	j.mu.Lock()
+	j.finished = finished
+	switch cause := context.Cause(j.ctx); {
+	case err == nil:
+		j.state = StateDone
+		j.table = tab
+	case errors.Is(cause, errClientCancel) || errors.Is(cause, errDrainStop):
+		j.state = StateCancelled
+		j.errMsg = cause.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	state := j.state
+	started := j.started
+	j.mu.Unlock()
+
+	s.running.Add(-1)
+	s.metrics.jobsRunning.Store(s.running.Load())
+	s.metrics.finish(state, finished.Sub(started))
+	s.publishState(j)
+	j.events.close()
+	close(j.doneCh)
+}
+
+// publishState emits the job's current Status as an SSE "state" event.
+func (s *Server) publishState(j *job) {
+	j.events.publish("state", mustJSON(j.status()))
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("server: marshal %T: %v", v, err))
+	}
+	return b
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.queueDepth.Store(int64(len(s.queue)))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(s.metrics.render()))
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": harness.Experiments()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+	j := newJob(id, spec, s.now())
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	base := context.Background()
+	ctx, cancel := context.WithCancelCause(base)
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithDeadlineCause(ctx, s.now().Add(timeout), context.DeadlineExceeded)
+		// The deadline timer is released when the job finishes.
+		go func() { <-j.doneCh; tcancel() }()
+	}
+	j.ctx, j.cancel = ctx, cancel
+
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+	default:
+		// Queue full: roll the registration back and push back on the
+		// client instead of buffering unboundedly.
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		cancel(errors.New("rejected: queue full"))
+		s.metrics.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfter()))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("admission queue full (%d queued); retry later", cap(s.queue)))
+		return
+	}
+	s.metrics.jobsAccepted.Add(1)
+	s.publishState(j)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	sort.SliceStable(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// lookup resolves {id}, writing 404 on miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		st := j.statusLocked()
+		j.mu.Unlock()
+		writeJSON(w, http.StatusConflict, st)
+		return
+	case j.state == StateQueued:
+		// Not yet picked up: mark terminal here; the worker skips it.
+		j.state = StateCancelled
+		j.errMsg = errClientCancel.Error()
+		j.finished = s.now()
+		j.mu.Unlock()
+		j.cancel(errClientCancel)
+		s.metrics.finish(StateCancelled, 0)
+		s.publishState(j)
+		j.events.close()
+		close(j.doneCh)
+	default: // running: the worker observes the context and finalizes.
+		j.mu.Unlock()
+		j.cancel(errClientCancel)
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	hist, live, unsub := j.events.subscribe()
+	defer unsub()
+	writeSSE := func(ev event) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+	}
+	for _, ev := range hist {
+		writeSSE(ev)
+	}
+	fl.Flush()
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			writeSSE(ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	tab, err := j.result()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Write([]byte(tab.CSV()))
+	case "md", "markdown":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		w.Write([]byte(tab.Markdown()))
+	case "json":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":     j.id,
+			"header": tab.Header,
+			"rows":   tab.Rows,
+		})
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want csv, md, or json)", format))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}

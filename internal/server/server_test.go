@@ -1,0 +1,544 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// smallSpec is a seconds-scale single-pair job: two modes at 20k measured
+// instructions each.
+func smallSpec() Spec {
+	return Spec{
+		Experiment:    "table2",
+		Pairs:         []string{"2Xlbm"},
+		InstrsPerProc: 20_000,
+		WarmupInstrs:  10_000,
+	}
+}
+
+// longSpec runs long enough (hundreds of ms) that a test can reliably
+// observe it mid-run.
+func longSpec() Spec {
+	return Spec{
+		Experiment:    "table2",
+		Pairs:         []string{"2Xlbm", "2Xgobmk", "leslie+gobmk"},
+		InstrsPerProc: 3_000_000,
+		WarmupInstrs:  100_000,
+	}
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec Spec) (Status, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", id, resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string, within time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		st := getStatus(t, ts, id)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %s", id, st.State, within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sseEvent is one parsed frame from the events stream.
+type sseEvent struct {
+	Name string
+	Data string
+}
+
+// readSSE consumes the whole event stream (the server closes it when the
+// job reaches a terminal state) and returns the parsed frames.
+func readSSE(t *testing.T, ts *httptest.Server, id string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events %s: %s", id, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type = %q", ct)
+	}
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.Name != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		}
+	}
+	return out
+}
+
+// TestLifecycle is the end-to-end happy path: submit → SSE stream shows
+// queued → running → done with progress in between → result retrievable in
+// all three formats and consistent with /v1/jobs.
+func TestLifecycle(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	st, resp := submit(t, ts, smallSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job state = %s", st.State)
+	}
+
+	events := readSSE(t, ts, st.ID)
+	var states []string
+	sawProgress := false
+	for _, ev := range events {
+		switch ev.Name {
+		case "state":
+			var s Status
+			if err := json.Unmarshal([]byte(ev.Data), &s); err != nil {
+				t.Fatalf("state event %q: %v", ev.Data, err)
+			}
+			states = append(states, string(s.State))
+		case "progress":
+			sawProgress = true
+		}
+	}
+	if len(states) == 0 || states[len(states)-1] != string(StateDone) {
+		t.Fatalf("SSE states = %v, want trailing done", states)
+	}
+	if !sawProgress {
+		t.Error("SSE stream carried no progress events")
+	}
+
+	final := getStatus(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("final state = %s (%s)", final.State, final.Error)
+	}
+	if final.Done != final.Total || final.Total == 0 {
+		t.Errorf("progress = %d/%d, want complete", final.Done, final.Total)
+	}
+
+	for _, format := range []string{"csv", "md", "json"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?format=" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result format=%s: %s", format, resp.Status)
+		}
+		if format == "csv" && !strings.HasPrefix(string(body), "workload,normalized") {
+			t.Errorf("csv result starts %q", string(body)[:min(40, len(body))])
+		}
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var list struct {
+		Jobs []Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != st.ID {
+		t.Errorf("job list = %+v", list.Jobs)
+	}
+}
+
+// TestSubmitValidation: malformed and invalid specs are rejected with 400
+// before touching the queue.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 0})
+	for _, body := range []string{
+		`{`,
+		`{"experiment":"nope"}`,
+		`{"experiment":"table2","pairs":["nope"]}`,
+		`{"experiment":"table2","bogus_field":1}`,
+		`{"experiment":"table2","jobs":-1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: got %s, want 400", body, resp.Status)
+		}
+	}
+}
+
+// TestBackpressure pins the admission contract: with no workers draining
+// the queue, QueueDepth jobs are accepted and the next is rejected with
+// 429 + Retry-After, without losing the accepted ones.
+func TestBackpressure(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 0, QueueDepth: 2, RetryAfter: 7})
+	var accepted []string
+	for i := 0; i < 2; i++ {
+		st, resp := submit(t, ts, smallSpec())
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %s", i, resp.Status)
+		}
+		accepted = append(accepted, st.ID)
+	}
+	_, resp := submit(t, ts, smallSpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: got %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("Retry-After = %q, want 7", ra)
+	}
+	for _, id := range accepted {
+		if st := getStatus(t, ts, id); st.State != StateQueued {
+			t.Errorf("accepted job %s state = %s, want queued", id, st.State)
+		}
+	}
+	// The rejected job must not appear in the list.
+	resp2, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var list struct {
+		Jobs []Status `json:"jobs"`
+	}
+	json.NewDecoder(resp2.Body).Decode(&list)
+	if len(list.Jobs) != 2 {
+		t.Errorf("job list has %d entries, want 2", len(list.Jobs))
+	}
+}
+
+// TestCancelQueued: DELETE on a job no worker has picked up moves it
+// straight to cancelled.
+func TestCancelQueued(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 0})
+	st, _ := submit(t, ts, smallSpec())
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %s", resp.Status)
+	}
+	if st := getStatus(t, ts, st.ID); st.State != StateCancelled {
+		t.Fatalf("state after cancel = %s", st.State)
+	}
+	// Result is a 409, and a second DELETE reports the conflict too.
+	resp2, _ := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("result of cancelled job: got %s, want 409", resp2.Status)
+	}
+}
+
+// TestCancelRunning: DELETE while the simulation is mid-run interrupts the
+// machine (kernel-level interrupt poll) and lands the job in cancelled,
+// fast — not after the job would have finished.
+func TestCancelRunning(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	st, _ := submit(t, ts, longSpec())
+	// Wait until a worker has it.
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, ts, st.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancelAt := time.Now()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	final := waitTerminal(t, ts, st.ID, 10*time.Second)
+	if final.State != StateCancelled {
+		t.Fatalf("state after mid-run cancel = %s (%s)", final.State, final.Error)
+	}
+	if took := time.Since(cancelAt); took > 5*time.Second {
+		t.Errorf("cancellation took %s; interrupt did not cut the run short", took)
+	}
+}
+
+// TestJobTimeout: a per-job deadline expires the job into failed (not
+// cancelled — the distinction is the cancellation cause).
+func TestJobTimeout(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	spec := longSpec()
+	spec.TimeoutMS = 50
+	st, _ := submit(t, ts, spec)
+	final := waitTerminal(t, ts, st.ID, 15*time.Second)
+	if final.State != StateFailed {
+		t.Fatalf("state after timeout = %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "deadline") {
+		t.Errorf("timeout error = %q, want a deadline message", final.Error)
+	}
+}
+
+// TestDrain pins the graceful-drain contract: after Drain returns, every
+// accepted job has reached a terminal state (none silently dropped), new
+// submissions get 503, and readiness reports draining.
+func TestDrain(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 2})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		st, resp := submit(t, ts, smallSpec())
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %s", i, resp.Status)
+		}
+		ids = append(ids, st.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		st := getStatus(t, ts, id)
+		if st.State != StateDone {
+			t.Errorf("job %s = %s (%s) after graceful drain, want done", id, st.State, st.Error)
+		}
+	}
+	if _, resp := submit(t, ts, smallSpec()); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: got %s, want 503", resp.Status)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: got %s, want 503", resp.Status)
+	}
+}
+
+// TestDrainHardStop: when the drain grace period expires mid-run, jobs are
+// hard-cancelled — they still reach a terminal state rather than being
+// dropped.
+func TestDrainHardStop(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 1})
+	st, _ := submit(t, ts, longSpec())
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, ts, st.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("hard drain returned nil, want context error")
+	}
+	final := getStatus(t, ts, st.ID)
+	if !final.State.Terminal() {
+		t.Fatalf("job %s non-terminal after hard drain: %s", st.ID, final.State)
+	}
+	if final.State != StateCancelled {
+		t.Errorf("hard-drained job state = %s, want cancelled", final.State)
+	}
+}
+
+// TestGoldenEquivalence is the cross-layer reproducibility check: the Table
+// II slice fetched through the HTTP API must be byte-identical to the
+// checked-in golden artifact that the in-process golden tests pin.
+func TestGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "results", "golden", "table2_slice.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, Config{Workers: 2})
+	st, resp := submit(t, ts, Spec{
+		Experiment:    "table2",
+		Pairs:         []string{"2Xlbm", "2Xgobmk", "leslie+gobmk"},
+		InstrsPerProc: 60_000,
+		WarmupInstrs:  40_000,
+		Jobs:          2,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	final := waitTerminal(t, ts, st.ID, 2*time.Minute)
+	if final.State != StateDone {
+		t.Fatalf("golden job %s: %s", final.State, final.Error)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !bytes.Equal(want, got) {
+		t.Errorf("HTTP result diverged from golden artifact\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestConcurrent64 is the capacity requirement: 64 jobs in flight at once,
+// all admitted, none dropped, none stuck, every result retrievable.
+func TestConcurrent64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 64
+	_, ts := startServer(t, Config{Workers: 8, QueueDepth: n})
+	spec := Spec{
+		Experiment:    "table2",
+		Pairs:         []string{"2Xlbm"},
+		InstrsPerProc: 10_000,
+		WarmupInstrs:  5_000,
+	}
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, resp := submit(t, ts, spec)
+			if resp.StatusCode != http.StatusAccepted {
+				errs <- fmt.Errorf("submit %d: %s", i, resp.Status)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		final := waitTerminal(t, ts, id, 2*time.Minute)
+		if final.State != StateDone {
+			t.Errorf("job %s: %s (%s)", id, final.State, final.Error)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), fmt.Sprintf(`timecache_jobs_finished_total{state="done"} %d`, n)) {
+		t.Errorf("metrics missing %d done jobs:\n%s", n, body)
+	}
+}
+
+// TestMetricsAndHealth smoke-tests the operational endpoints.
+func TestMetricsAndHealth(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 0})
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/v1/experiments"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: %s", path, resp.Status)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "timecache_jobs_accepted_total") {
+			t.Errorf("metrics output missing counters:\n%s", body)
+		}
+		if path == "/v1/experiments" && !strings.Contains(string(body), "table2") {
+			t.Errorf("experiments output missing table2: %s", body)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job: got %s, want 404", resp.Status)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package timecache
 
 import (
+	"context"
 	"fmt"
 
 	"timecache/internal/asm"
@@ -142,9 +143,10 @@ func (c Config) machineConfig() machine.Config {
 // System is a simulated machine: cores, caches, physical memory, and the
 // kernel that schedules processes on it.
 type System struct {
-	cfg Config
-	m   *machine.Machine
-	k   *kernel.Kernel
+	cfg  Config
+	m    *machine.Machine
+	k    *kernel.Kernel
+	pool *machine.Pool
 }
 
 // New builds a System from cfg. Assembly happens in internal/machine; this
@@ -153,15 +155,20 @@ func New(cfg Config) (*System, error) {
 	return NewFromPool(nil, cfg)
 }
 
-// NewFromPool builds a System from cfg, reusing a machine from pool when one
-// of the identical shape exists (pool may be nil to always build fresh). A
-// reused machine is Reset first and runs exactly like a new one; sweep
-// drivers keep one pool per worker to avoid rebuilding per run.
+// NewFromPool builds a System from cfg, checking a machine out of pool when
+// one of the identical shape was released earlier (pool may be nil to always
+// build fresh). A reused machine is Reset first and runs exactly like a new
+// one; call Release when done with the System so the machine goes back for
+// the next run.
 func NewFromPool(pool *machine.Pool, cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	m := pool.Get(cfg.machineConfig())
-	return &System{cfg: cfg, m: m, k: m.Kernel()}, nil
+	return &System{cfg: cfg, m: m, k: m.Kernel(), pool: pool}, nil
 }
+
+// Release returns the System's machine to the pool it was drawn from (a
+// no-op for pool-less Systems). The System must not be used afterwards.
+func (s *System) Release() { s.pool.Put(s.m) }
 
 // Process is a handle on a spawned process.
 type Process struct {
@@ -296,6 +303,14 @@ func (s *System) AttachTelemetry(cfg telemetry.Config) *telemetry.Collector {
 // Run advances the machine until every process exits or maxCycles elapses
 // on some core, returning the final cycle count.
 func (s *System) Run(maxCycles uint64) uint64 { return s.k.Run(maxCycles) }
+
+// RunContext is Run bounded by a context: when ctx is cancelled the machine
+// stops within a few thousand simulated instructions and RunContext returns
+// the cycle count reached. Use ctx.Err() and AllExited to distinguish
+// completion from cancellation; a cancelled System must not be run again.
+func (s *System) RunContext(ctx context.Context, maxCycles uint64) uint64 {
+	return s.k.RunCtx(ctx, maxCycles)
+}
 
 // AllExited reports whether every spawned process has terminated.
 func (s *System) AllExited() bool { return s.k.AllExited() }
