@@ -542,11 +542,22 @@ func (k *Kernel) RunCtx(ctx context.Context, maxCycles uint64) uint64 {
 		return k.maxClock()
 	}
 	// After a cancelled run the flag intentionally stays set: the machine is
-	// mid-workload and must be Reset before reuse (Reset clears it), so a
-	// stray late-firing callback can never corrupt a subsequent run.
-	stop := context.AfterFunc(ctx, k.Interrupt)
-	defer stop()
-	return k.Run(maxCycles)
+	// mid-workload and must be Reset before reuse (Reset clears it). That
+	// reasoning only holds if the callback cannot fire after RunCtx returns —
+	// a late Interrupt landing after the next Reset would spuriously abort an
+	// unrelated run on a pooled machine. AfterFunc's stop does not wait for
+	// an in-flight callback, so when stop reports the callback has started we
+	// block until it completes before returning.
+	fired := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		k.Interrupt()
+		close(fired)
+	})
+	n := k.Run(maxCycles)
+	if !stop() {
+		<-fired
+	}
+	return n
 }
 
 // Run advances the machine until every process has exited or any core's

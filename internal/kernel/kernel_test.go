@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -506,6 +507,38 @@ func TestRunInline(t *testing.T) {
 	p.State = Exited
 	if err := k.RunInline(p, func(env sim.Env) {}); err == nil {
 		t.Fatal("RunInline on exited process must error")
+	}
+}
+
+// TestRunCtxNoStaleInterrupt pins the RunCtx/AfterFunc synchronization:
+// when a context cancellation races with run completion, the interrupt
+// callback must have finished before RunCtx returns. Otherwise a pooled
+// machine could be Reset (clearing the sticky flag) and handed to a new
+// run, and the stale callback would then spuriously abort that unrelated
+// run. After RunCtx+Reset the flag must therefore always read clear.
+func TestRunCtxNoStaleInterrupt(t *testing.T) {
+	k := newMachine(t, cache.SecTimeCache, 1)
+	for i := 0; i < 300; i++ {
+		as := NewAddressSpace(k.Physical())
+		if err := as.MapAnon(0x100000, mem.PageSize, true); err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		proc := sim.ProcFunc(func(env sim.Env) bool {
+			env.Load(0x100000)
+			steps++
+			return steps < 4
+		})
+		if _, err := k.Spawn("short", proc, as, 0); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel() // race the cancellation against run completion
+		k.RunCtx(ctx, 10_000_000)
+		k.Reset()
+		if k.Interrupted() {
+			t.Fatalf("iteration %d: interrupt callback fired after RunCtx returned and Reset cleared the flag", i)
+		}
 	}
 }
 

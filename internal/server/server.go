@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -285,8 +284,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if timeout > 0 {
 		var tcancel context.CancelFunc
 		ctx, tcancel = context.WithDeadlineCause(ctx, s.now().Add(timeout), context.DeadlineExceeded)
-		// The deadline timer is released when the job finishes.
-		go func() { <-j.doneCh; tcancel() }()
+		// The deadline timer is released when the job finishes — or, for a
+		// job rejected at admission (whose doneCh never closes), when the
+		// rejection path cancels the context.
+		go func() {
+			select {
+			case <-j.doneCh:
+			case <-ctx.Done():
+			}
+			tcancel()
+		}()
 	}
 	j.ctx, j.cancel = ctx, cancel
 
@@ -299,10 +306,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- j:
 	default:
 		// Queue full: roll the registration back and push back on the
-		// client instead of buffering unboundedly.
+		// client instead of buffering unboundedly. The lock was released
+		// between registering and the queue send, so a concurrent submit
+		// may have appended after us — remove our id by value, not by
+		// truncating the tail.
 		s.mu.Lock()
 		delete(s.jobs, id)
-		s.order = s.order[:len(s.order)-1]
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
 		s.mu.Unlock()
 		cancel(errors.New("rejected: queue full"))
 		s.metrics.jobsRejected.Add(1)
@@ -317,13 +332,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	// s.order is already submission-ordered; sorting the id strings would
+	// diverge from submission order once the %06d width overflows.
 	s.mu.Lock()
 	out := make([]Status, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.jobs[id].status())
 	}
 	s.mu.Unlock()
-	sort.SliceStable(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 

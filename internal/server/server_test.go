@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -282,6 +283,103 @@ func TestBackpressure(t *testing.T) {
 	json.NewDecoder(resp2.Body).Decode(&list)
 	if len(list.Jobs) != 2 {
 		t.Errorf("job list has %d entries, want 2", len(list.Jobs))
+	}
+}
+
+// TestConcurrentSubmitRollback pins the queue-full rollback under
+// concurrent submission: a rejected job must remove its own id from the
+// registry, never a concurrently accepted one. The old positional rollback
+// (truncate the last element of s.order) could delete the id of a submit
+// that registered in between, leaving a dangling id that made GET /v1/jobs
+// panic and the accepted job vanish from the listing. The specs carry a
+// timeout so the rejection path also exercises the deadline-goroutine
+// release (a rejected job's doneCh never closes; the goroutine must exit
+// via the cancelled context instead of leaking).
+func TestConcurrentSubmitRollback(t *testing.T) {
+	spec := smallSpec()
+	spec.TimeoutMS = 60_000
+	base := runtime.NumGoroutine()
+	const rounds, submitters = 10, 8
+	for round := 0; round < rounds; round++ {
+		s := New(Config{Workers: 0, QueueDepth: 1})
+		ts := httptest.NewServer(s.Handler())
+		ids := make([]string, submitters)
+		var wg sync.WaitGroup
+		for i := 0; i < submitters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				st, resp := submit(t, ts, spec)
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					ids[i] = st.ID
+				case http.StatusTooManyRequests:
+				default:
+					t.Errorf("round %d submit %d: %s", round, i, resp.Status)
+				}
+			}(i)
+		}
+		wg.Wait()
+		want := map[string]bool{}
+		for _, id := range ids {
+			if id != "" {
+				want[id] = true
+			}
+		}
+		if len(want) != 1 {
+			t.Fatalf("round %d: %d jobs accepted, want 1", round, len(want))
+		}
+		// The listing must contain exactly the accepted ids — a dangling
+		// order entry panics the handler (the client sees a dropped
+		// connection rather than a 200).
+		resp, err := http.Get(ts.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatalf("round %d list: %v", round, err)
+		}
+		var list struct {
+			Jobs []Status `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatalf("round %d decode list: %v", round, err)
+		}
+		resp.Body.Close()
+		if len(list.Jobs) != len(want) {
+			t.Fatalf("round %d: listed %d jobs, want %d", round, len(list.Jobs), len(want))
+		}
+		for _, st := range list.Jobs {
+			if !want[st.ID] {
+				t.Errorf("round %d: listing has %s, not an accepted job", round, st.ID)
+			}
+		}
+		// Release this round's resources so the final goroutine count only
+		// sees leaks: cancelling the accepted job closes its doneCh (its
+		// deadline goroutine exits), and closing the server tears down the
+		// HTTP connections.
+		for id := range want {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		ts.Close()
+		dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		s.Drain(dctx)
+		dcancel()
+	}
+	// Every rejected job's deadline goroutine must have exited via its
+	// cancelled context (a rejected job's doneCh never closes). Before the
+	// fix ~70 goroutines survived here.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d; rejected-job deadline goroutines leaked",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
