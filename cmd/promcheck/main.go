@@ -1,0 +1,114 @@
+// promcheck validates observability artifacts from stdin: by default a
+// Prometheus text exposition (parsed with the strict internal/promtext lint,
+// optionally asserting named series exist), with -trace a Chrome trace-event
+// JSON file (as served by /v1/jobs/{id}/trace). The CI server-smoke job pipes
+// live scrapes and traces through it.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promcheck -require jobs_accepted_total
+//	curl -s localhost:8080/v1/jobs/1/trace | promcheck -trace -require-span run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"timecache/internal/promtext"
+)
+
+func main() {
+	trace := flag.Bool("trace", false, "validate a Chrome trace-event JSON file instead of a metrics exposition")
+	require := flag.String("require", "", "comma-separated metric families that must be present with samples")
+	requireSpan := flag.String("require-span", "", "comma-separated span names that must appear as complete (ph=X) events (-trace only)")
+	flag.Parse()
+
+	var err error
+	if *trace {
+		err = checkTrace(splitList(*requireSpan))
+	} else {
+		err = checkMetrics(splitList(*require))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func checkMetrics(require []string) error {
+	m, err := promtext.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	for _, name := range require {
+		f := m.Family(name)
+		if f == nil {
+			return fmt.Errorf("required metric %s not exposed", name)
+		}
+		if len(f.Samples) == 0 {
+			return fmt.Errorf("required metric %s has no samples", name)
+		}
+	}
+	fmt.Printf("promcheck: ok (%d families, %d samples)\n", len(m.Families), len(m.Samples()))
+	return nil
+}
+
+// traceEvent mirrors the subset of the Chrome trace-event schema that the
+// validator checks; extra fields (cat, args, s) are tolerated, as viewers do.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	PID   *int    `json:"pid"`
+	TID   *int    `json:"tid"`
+}
+
+func checkTrace(requireSpans []string) error {
+	var file struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.NewDecoder(os.Stdin).Decode(&file); err != nil {
+		return fmt.Errorf("trace JSON: %w", err)
+	}
+	if file.TraceEvents == nil {
+		return fmt.Errorf("trace has no traceEvents array")
+	}
+	spans := map[string]bool{}
+	for i, ev := range file.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return fmt.Errorf("event %d (%s) missing pid/tid", i, ev.Name)
+		}
+		switch ev.Phase {
+		case "X":
+			if ev.Dur < 0 || ev.TS < 0 {
+				return fmt.Errorf("event %d (%s) has negative ts/dur", i, ev.Name)
+			}
+			spans[ev.Name] = true
+		case "i", "M":
+		default:
+			return fmt.Errorf("event %d (%s) has unexpected phase %q", i, ev.Name, ev.Phase)
+		}
+	}
+	for _, name := range requireSpans {
+		if !spans[name] {
+			return fmt.Errorf("required span %q not present", name)
+		}
+	}
+	fmt.Printf("promcheck: trace ok (%d events, %d distinct spans)\n", len(file.TraceEvents), len(spans))
+	return nil
+}

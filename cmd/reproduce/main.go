@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"runtime/pprof"
 
 	"timecache"
+	"timecache/internal/harness"
 	"timecache/internal/stats"
 	"timecache/internal/telemetry"
 	"timecache/internal/textplot"
@@ -43,6 +45,8 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
+
+		resources = flag.String("resources", "", "write aggregate resource counters (cycles, instructions, cache accesses, switches, s-bit delayed loads) as JSON to this path at exit")
 
 		withTelemetry = flag.Bool("telemetry", false, "attach telemetry to every run: interval metrics + run manifests next to the CSVs in -out")
 		metricsOut    = flag.String("metrics-out", "", "interval-metrics CSV base path (suffixed per workload/mode)")
@@ -88,6 +92,11 @@ func main() {
 	}
 	opts.Jobs = *jobs
 	opts.CoherenceCheck = *cohCheck
+	var account *harness.ResourceAccount
+	if *resources != "" {
+		account = &harness.ResourceAccount{}
+		opts.Account = account
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -151,6 +160,18 @@ func main() {
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *only))
+	}
+	if account != nil {
+		// The snapshot uses the same JSON schema as the job service's
+		// result "resources" block, so CLI and HTTP runs compare directly.
+		buf, err := json.MarshalIndent(account.Snapshot(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*resources, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reproduce: resource counters written to %s\n", *resources)
 	}
 }
 

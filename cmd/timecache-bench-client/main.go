@@ -6,12 +6,19 @@
 // Usage:
 //
 //	timecache-bench-client -addr http://localhost:8080 -n 64 -c 64
+//	timecache-bench-client -addr ... -n 64 -c 16 -dash
 //	timecache-bench-client -addr ... -n 1 -pairs 2Xlbm,2Xgobmk,leslie+gobmk \
 //	    -instrs 60000 -warmup 40000 -want-golden results/golden/table2_slice.csv
 //
 // With -want-golden the first job's CSV result is compared byte-for-byte
 // against the given file; a mismatch exits nonzero (the CI smoke job uses
 // this to prove the HTTP path reproduces the golden artifact).
+//
+// With -dash the client renders a live terminal dashboard while the load
+// runs: client-side throughput and latency percentiles next to the server's
+// own view of itself (queue depth, running jobs, SSE subscribers — scraped
+// from /metrics and parsed with the same strict exposition parser the tests
+// use), drawn as textplot sparklines.
 package main
 
 import (
@@ -27,7 +34,9 @@ import (
 	"sync"
 	"time"
 
+	"timecache/internal/promtext"
 	"timecache/internal/stats"
+	"timecache/internal/textplot"
 )
 
 func main() {
@@ -41,22 +50,47 @@ func main() {
 		warmup     = flag.Uint64("warmup", 10_000, "warmup instructions per process")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "overall client deadline")
 		wantGolden = flag.String("want-golden", "", "compare the first job's CSV result to this file byte-for-byte")
+		dash       = flag.Bool("dash", false, "render a live terminal dashboard while the load runs")
+		dashEvery  = flag.Duration("dash-interval", 500*time.Millisecond, "dashboard refresh/sample interval")
 	)
 	flag.Parse()
-	if err := run(*addr, *n, *c, *experiment, *pairs, *instrs, *warmup, *timeout, *wantGolden); err != nil {
+	if err := run(*addr, *n, *c, *experiment, *pairs, *instrs, *warmup, *timeout, *wantGolden, *dash, *dashEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "timecache-bench-client:", err)
 		os.Exit(1)
 	}
 }
 
 type clientResult struct {
+	id      string
 	latency time.Duration
 	retries int
 	csv     string
 	err     error
 }
 
-func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64, timeout time.Duration, wantGolden string) error {
+// tracker is the dashboard's shared view of client-side progress.
+type tracker struct {
+	mu   sync.Mutex
+	done int
+	lats []float64 // milliseconds, completed jobs only
+}
+
+func (t *tracker) complete(latMS float64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	if ok {
+		t.lats = append(t.lats, latMS)
+	}
+}
+
+func (t *tracker) snapshot() (int, []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done, append([]float64(nil), t.lats...)
+}
+
+func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64, timeout time.Duration, wantGolden string, dash bool, dashEvery time.Duration) error {
 	spec := map[string]any{
 		"experiment":      experiment,
 		"instrs_per_proc": instrs,
@@ -74,6 +108,16 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 	deadline := time.Now().Add(timeout)
 	results := make([]clientResult, n)
 	sem := make(chan struct{}, max(1, c))
+	tr := &tracker{}
+	stopDash := make(chan struct{})
+	var dashWG sync.WaitGroup
+	if dash {
+		dashWG.Add(1)
+		go func() {
+			defer dashWG.Done()
+			dashboard(client, addr, tr, n, dashEvery, stopDash)
+		}()
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < n; i++ {
@@ -83,10 +127,15 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[i] = oneJob(client, addr, body, deadline)
+			tr.complete(float64(results[i].latency.Milliseconds()), results[i].err == nil)
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if dash {
+		close(stopDash)
+		dashWG.Wait()
+	}
 
 	var lats []float64
 	retries := 0
@@ -112,6 +161,10 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 	if n > 0 && wall > 0 {
 		tab.Add("jobs-per-sec", float64(n-failed)/wall.Seconds())
 	}
+	if n > 0 && results[0].id != "" {
+		// The CI smoke job fetches this job's trace and validates it.
+		tab.Add("first-job", results[0].id)
+	}
 	fmt.Print(tab.String())
 
 	if failed > 0 {
@@ -131,13 +184,87 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 	return nil
 }
 
+// dashboard samples client progress and the server's /metrics every interval
+// and redraws a sparkline view until stop closes, then leaves the final
+// frame on screen.
+func dashboard(client *http.Client, addr string, tr *tracker, total int, interval time.Duration, stop <-chan struct{}) {
+	var thr, queueDepth, running, subs []float64
+	prevDone := 0
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Print(renderDash(tr, total, thr, queueDepth, running, subs, true))
+			return
+		case <-tick.C:
+		}
+		done, _ := tr.snapshot()
+		thr = append(thr, float64(done-prevDone)/interval.Seconds())
+		prevDone = done
+		if m := scrape(client, addr); m != nil {
+			queueDepth = append(queueDepth, sampleValue(m, "timecache_queue_depth"))
+			running = append(running, sampleValue(m, "timecache_jobs_running"))
+			subs = append(subs, sampleValue(m, "timecache_sse_subscribers"))
+		}
+		// Home the cursor and clear so the dashboard redraws in place.
+		fmt.Print("\033[H\033[2J" + renderDash(tr, total, thr, queueDepth, running, subs, false))
+	}
+}
+
+func renderDash(tr *tracker, total int, thr, queueDepth, running, subs []float64, final bool) string {
+	done, lats := tr.snapshot()
+	var b strings.Builder
+	state := "running"
+	if final {
+		state = "final"
+	}
+	fmt.Fprintf(&b, "timecache-bench-client — %d/%d jobs done (%s)\n\n", done, total, state)
+	ts := textplot.TimeSeries{Title: "load (client) / server ops surface", Width: 50, Format: "%.2f"}
+	ts.Add("jobs/sec", thr)
+	ts.Add("queue depth", queueDepth)
+	ts.Add("running", running)
+	ts.Add("sse subs", subs)
+	b.WriteString(ts.String())
+	if len(lats) > 0 {
+		fmt.Fprintf(&b, "\nlatency ms: p50=%.0f p90=%.0f p99=%.0f (n=%d)\n",
+			stats.Percentile(lats, 0.50), stats.Percentile(lats, 0.90), stats.Percentile(lats, 0.99), len(lats))
+	}
+	return b.String()
+}
+
+// scrape fetches and parses /metrics; nil on any failure (the dashboard
+// simply skips the sample).
+func scrape(client *http.Client, addr string) *promtext.Metrics {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	m, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+func sampleValue(m *promtext.Metrics, name string) float64 {
+	if s := m.Sample(name); s != nil {
+		return s.Value
+	}
+	return 0
+}
+
 // oneJob submits one job (retrying on 429 per Retry-After), waits for a
 // terminal state, and fetches the CSV result. Latency is submit-to-result.
 func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) clientResult {
 	var res clientResult
 	start := time.Now()
 
-	var id string
 	for {
 		if time.Now().After(deadline) {
 			res.err = fmt.Errorf("deadline exceeded before admission")
@@ -170,16 +297,16 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 			res.err = fmt.Errorf("submit: decode: %w", err)
 			return res
 		}
-		id = st.ID
+		res.id = st.ID
 		break
 	}
 
 	for {
 		if time.Now().After(deadline) {
-			res.err = fmt.Errorf("deadline exceeded waiting for %s", id)
+			res.err = fmt.Errorf("deadline exceeded waiting for %s", res.id)
 			return res
 		}
-		resp, err := client.Get(addr + "/v1/jobs/" + id)
+		resp, err := client.Get(addr + "/v1/jobs/" + res.id)
 		if err != nil {
 			res.err = err
 			return res
@@ -191,13 +318,13 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 			Error string `json:"error"`
 		}
 		if err := json.Unmarshal(body, &st); err != nil {
-			res.err = fmt.Errorf("status %s: decode: %w", id, err)
+			res.err = fmt.Errorf("status %s: decode: %w", res.id, err)
 			return res
 		}
 		switch st.State {
 		case "done":
 		case "failed", "cancelled":
-			res.err = fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+			res.err = fmt.Errorf("job %s %s: %s", res.id, st.State, st.Error)
 			return res
 		default:
 			time.Sleep(25 * time.Millisecond)
@@ -206,7 +333,7 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 		break
 	}
 
-	resp, err := client.Get(addr + "/v1/jobs/" + id + "/result")
+	resp, err := client.Get(addr + "/v1/jobs/" + res.id + "/result")
 	if err != nil {
 		res.err = err
 		return res
@@ -214,7 +341,7 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		res.err = fmt.Errorf("result %s: %s", id, resp.Status)
+		res.err = fmt.Errorf("result %s: %s", res.id, resp.Status)
 		return res
 	}
 	res.csv = string(body)

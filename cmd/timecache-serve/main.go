@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	timecache-serve -addr :8080 -workers 4 -queue 64
+//	timecache-serve -addr :8080 -workers 4 -queue 64 -log-format json
 //
 // Endpoints (see internal/server and EXPERIMENTS.md for the job-spec
 // schema):
@@ -15,8 +15,14 @@
 //	DELETE /v1/jobs/{id}        cancel (stops a running simulation mid-slice)
 //	GET    /v1/jobs/{id}/events progress stream (SSE)
 //	GET    /v1/jobs/{id}/result result as ?format=csv|md|json
+//	GET    /v1/jobs/{id}/trace  per-job Chrome trace (lifecycle + leg spans)
 //	GET    /v1/experiments      available experiment names
 //	GET    /healthz /readyz /metrics
+//
+// Structured logs (one line per admission decision, state transition,
+// cancellation, timeout, and drain step) go to stderr in text or JSON form
+// per -log-format. -debug-addr serves net/http/pprof on a second, separate
+// listener so profiling endpoints are never exposed on the job API port.
 //
 // On SIGTERM/SIGINT the server stops admitting, finishes queued and running
 // jobs, and exits 0; a second signal (or -drain-grace expiring) hard-cancels
@@ -27,14 +33,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"timecache/internal/clock"
 	"timecache/internal/server"
 )
 
@@ -45,19 +54,46 @@ func main() {
 		queue      = flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
 		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline (0 = unbounded; jobs may set timeout_ms)")
 		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long a graceful drain may wait for in-flight jobs")
+		logFormat  = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *jobTimeout, *drainGrace); err != nil {
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timecache-serve:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *debugAddr, *workers, *queue, *jobTimeout, *drainGrace, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "timecache-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, jobTimeout, drainGrace time.Duration) error {
+// buildLogger assembles the daemon's stderr logger from the flag values.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
+func run(addr, debugAddr string, workers, queue int, jobTimeout, drainGrace time.Duration, logger *slog.Logger) error {
 	srv := server.New(server.Config{
 		Workers:        workers,
 		QueueDepth:     queue,
 		DefaultTimeout: jobTimeout,
+		Clock:          clock.Real{},
+		Logger:         logger,
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -67,6 +103,28 @@ func run(addr string, workers, queue int, jobTimeout, drainGrace time.Duration) 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Printf("timecache-serve: listening on %s (%d workers, queue %d)\n",
 		ln.Addr(), workers, queue)
+
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		// The default mux would pick pprof up via its init registrations,
+		// but an explicit mux keeps the debug surface to exactly pprof and
+		// independent of anything else that registers globally.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof debug server listening", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				logger.Error("pprof debug server exited", "error", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -78,22 +136,27 @@ func run(addr string, workers, queue int, jobTimeout, drainGrace time.Duration) 
 		return err
 	case sig := <-sigc:
 		fmt.Printf("timecache-serve: %s: draining (grace %s; signal again to hard-stop)\n", sig, drainGrace)
+		logger.Info("signal received", "signal", sig.String(), "drain_grace", drainGrace)
 	}
 
-	// Stop admitting and let in-flight jobs finish. A second signal cuts the
-	// grace period short.
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainGrace)
-	defer cancel()
+	// Stop admitting and let in-flight jobs finish. The grace deadline runs
+	// on the server's injected clock; a second signal cuts it short.
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- srv.DrainWithGrace(drainGrace) }()
 	go func() {
 		<-sigc
 		fmt.Println("timecache-serve: second signal: hard-cancelling jobs")
+		logger.Warn("second signal: hard-cancelling jobs")
+		// Drain with an already-expired context: hard-cancels immediately.
+		expired, cancel := context.WithCancel(context.Background())
 		cancel()
+		srv.Drain(expired)
 	}()
-	if err := srv.Drain(drainCtx); err != nil {
+	if err := <-drainErr; err != nil {
 		fmt.Printf("timecache-serve: drain cut short: %v (all jobs reached terminal states)\n", err)
 	}
-	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel2()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}

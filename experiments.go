@@ -41,6 +41,13 @@ type ExperimentOptions struct {
 	// thousand instructions and surfaces as Ctx's error. Nil means never
 	// cancelled.
 	Ctx context.Context
+	// Account, when non-nil, accumulates per-leg resource counters
+	// (simulated cycles, instructions, per-level cache accesses, context
+	// switches, s-bit delayed loads) across every run the reproduction
+	// dispatches — the same accounting the job service reports in its
+	// result JSON, so a CLI run and an HTTP job can be compared number for
+	// number (cmd/reproduce -resources writes the snapshot).
+	Account *harness.ResourceAccount
 }
 
 func (o ExperimentOptions) harness() harness.Options {
@@ -54,6 +61,7 @@ func (o ExperimentOptions) harness() harness.Options {
 		Jobs:           o.Jobs,
 		Progress:       o.Progress,
 		Ctx:            o.Ctx,
+		Account:        o.Account,
 	}
 }
 

@@ -1,0 +1,107 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeNowAdvance(t *testing.T) {
+	f := NewFake(time.Time{})
+	start := f.Now()
+	if start.IsZero() {
+		t.Fatal("NewFake with zero start should pick a non-zero epoch")
+	}
+	f.Advance(90 * time.Second)
+	if got := f.Now().Sub(start); got != 90*time.Second {
+		t.Fatalf("advanced %s, want 90s", got)
+	}
+}
+
+func TestFakeTimerFiresInDeadlineOrder(t *testing.T) {
+	f := NewFake(time.Time{})
+	var order []string
+	f.AfterFunc(3*time.Second, func() { order = append(order, "c") })
+	f.AfterFunc(1*time.Second, func() { order = append(order, "a") })
+	f.AfterFunc(2*time.Second, func() { order = append(order, "b") })
+	f.AfterFunc(10*time.Second, func() { order = append(order, "late") })
+	f.Advance(5 * time.Second)
+	if got := len(order); got != 3 {
+		t.Fatalf("fired %d timers, want 3 (%v)", got, order)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("fire order = %v, want [a b c]", order)
+	}
+	f.Advance(10 * time.Second)
+	if len(order) != 4 || order[3] != "late" {
+		t.Fatalf("after second advance order = %v", order)
+	}
+}
+
+func TestFakeTimerClockReadsDeadline(t *testing.T) {
+	// A callback reading Now must see its own deadline, not the advance
+	// target — matching how Real timers observe time.
+	f := NewFake(time.Time{})
+	start := f.Now()
+	var at time.Time
+	f.AfterFunc(2*time.Second, func() { at = f.Now() })
+	f.Advance(time.Hour)
+	if got := at.Sub(start); got != 2*time.Second {
+		t.Fatalf("callback saw now = start+%s, want start+2s", got)
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(time.Time{})
+	fired := false
+	tm := f.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	f.Advance(time.Minute)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+
+	tm2 := f.AfterFunc(time.Second, func() {})
+	f.Advance(time.Minute)
+	if tm2.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+func TestFakeTimerRegisteredDuringAdvance(t *testing.T) {
+	// A callback chaining another AfterFunc whose deadline is inside the
+	// advance window fires within the same Advance.
+	f := NewFake(time.Time{})
+	var fired []string
+	f.AfterFunc(1*time.Second, func() {
+		fired = append(fired, "first")
+		f.AfterFunc(1*time.Second, func() { fired = append(fired, "chained") })
+	})
+	f.Advance(5 * time.Second)
+	if len(fired) != 2 || fired[1] != "chained" {
+		t.Fatalf("fired = %v, want [first chained]", fired)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c WallClock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now = %s, before %s", now, before)
+	}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.AfterFunc never fired")
+	}
+	if tm := c.AfterFunc(time.Hour, func() {}); !tm.Stop() {
+		t.Fatal("Stop of pending real timer should report true")
+	}
+}

@@ -9,6 +9,7 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"timecache/internal/attack"
 	"timecache/internal/cache"
@@ -268,14 +269,24 @@ func SecurityTable(keyBits int, seed uint64, opts Options) (*stats.Table, error)
 			opts.Progress(done, total)
 		}
 	}
+	// The attack scenarios own their machines internally, so these legs are
+	// accounted by count and span only (no kernel counters to read).
+	leg := func(name string, start time.Time) {
+		opts.Account.AddLeg()
+		if opts.Spans != nil {
+			opts.Spans.Span(name, "leg", start, opts.wallNow(), nil)
+		}
+	}
 	for _, mode := range modes {
 		if err := opts.ctx().Err(); err != nil {
 			return nil, err
 		}
+		start := opts.legStart()
 		mb, err := attack.RunMicrobenchmark(mode)
 		if err != nil {
 			return nil, err
 		}
+		leg("microbenchmark/"+mode.String(), start)
 		tab.Add("microbenchmark (§VI-A1)", mode.String(),
 			fmt.Sprintf("%d/%d lines hit", mb.Hits, mb.Lines))
 		step()
@@ -284,10 +295,12 @@ func SecurityTable(keyBits int, seed uint64, opts Options) (*stats.Table, error)
 		if err := opts.ctx().Err(); err != nil {
 			return nil, err
 		}
+		start := opts.legStart()
 		rsa, err := attack.RunRSA(mode, keyBits, seed)
 		if err != nil {
 			return nil, err
 		}
+		leg("rsa/"+mode.String(), start)
 		tab.Add("RSA flush+reload (§VI-A2)", mode.String(),
 			fmt.Sprintf("%.0f%% of key bits, %d hits, victim correct=%v",
 				rsa.Accuracy*100, rsa.Hits, rsa.VictimCorrect))

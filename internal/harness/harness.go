@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"timecache/internal/cache"
 	"timecache/internal/core"
@@ -62,6 +63,20 @@ type Options struct {
 	// for concurrent use, so one pool may serve a whole sweep — the job
 	// service shares one pool per service worker across all its jobs.
 	Pool *machine.Pool
+	// Spans, when non-nil, receives one wall-clock span per simulated
+	// machine run (experiment leg), named "<label>/<mode>" with the run's
+	// simulated cycles and instructions as args. The job service passes the
+	// job's SpanRecorder here. Nil costs the run one comparison.
+	Spans telemetry.SpanSink
+	// Now supplies the wall timestamps for Spans. Nil means time.Now; the
+	// job service injects its wall clock so traces are deterministic in
+	// tests.
+	Now func() time.Time
+	// Account, when non-nil, accumulates the resource counters of every
+	// completed run (simulated cycles, instructions, per-level accesses,
+	// context switches, s-bit delayed loads). Adds are atomic, so one
+	// account serves a parallel sweep. Nil costs the run one comparison.
+	Account *ResourceAccount
 }
 
 // pool builds the runner options for this configuration.
@@ -105,6 +120,41 @@ func finishTelemetry(col *telemetry.Collector) error {
 		return nil
 	}
 	return col.Finish()
+}
+
+// wallNow reads the injected wall clock (time.Now when unset).
+func (o Options) wallNow() time.Time {
+	if o.Now != nil {
+		return o.Now()
+	}
+	return time.Now()
+}
+
+// legStart stamps the beginning of one machine run when spans are on. The
+// zero time when Spans is nil keeps the disabled path off the clock.
+func (o Options) legStart() time.Time {
+	if o.Spans == nil {
+		return time.Time{}
+	}
+	return o.wallNow()
+}
+
+// finishLeg accounts one completed machine run and records its span. Both
+// hooks are leg-granularity: nothing here runs on the per-access or
+// per-instruction hot paths, so an attached account or sink costs one
+// counter snapshot per leg and a disabled one costs two nil checks.
+func (o Options) finishLeg(name string, start time.Time, k *kernel.Kernel) {
+	if o.Account == nil && o.Spans == nil {
+		return
+	}
+	m := snapCounters(k)
+	o.Account.add(m)
+	if o.Spans != nil {
+		o.Spans.Span(name, "leg", start, o.wallNow(), map[string]any{
+			"sim_cycles":   m.cycles,
+			"instructions": m.instrs,
+		})
+	}
 }
 
 // sanitizeLabel makes a workload label safe as a filename fragment.
@@ -237,6 +287,7 @@ func runSpecPairOnce(pool *machine.Pool, pair workload.Pair, mode cache.SecMode,
 		return measurement{}, err
 	}
 	frames := workload.FramesNeeded(pa) + workload.FramesNeeded(pb) + 1024
+	legStart := opts.legStart()
 	m := pool.Get(machineConfig(mode, 1, opts, frames))
 	defer pool.Put(m)
 	k := m.Kernel()
@@ -273,6 +324,7 @@ func runSpecPairOnce(pool *machine.Pool, pair workload.Pair, mode cache.SecMode,
 	if err := finishTelemetry(col); err != nil {
 		return measurement{}, err
 	}
+	opts.finishLeg(pair.Label+"/"+mode.String(), legStart, k)
 	return snapCounters(k).sub(warm), nil
 }
 
@@ -362,6 +414,7 @@ func runParsecOnce(pool *machine.Pool, name string, mode cache.SecMode, opts Opt
 		return measurement{}, err
 	}
 	frames := workload.FramesNeeded(prof) + 1024
+	legStart := opts.legStart()
 	m := pool.Get(machineConfig(mode, 2, opts, frames))
 	defer pool.Put(m)
 	k := m.Kernel()
@@ -399,6 +452,7 @@ func runParsecOnce(pool *machine.Pool, name string, mode cache.SecMode, opts Opt
 	if err := finishTelemetry(col); err != nil {
 		return measurement{}, err
 	}
+	opts.finishLeg(name+"/"+mode.String(), legStart, k)
 	return snapCounters(k).sub(warm), nil
 }
 
@@ -512,6 +566,7 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 		mcfg := machineConfig(cfgDef.mode, 1, opts, frames)
 		mcfg.Partitioned = cfgDef.partitioned
 		mcfg.FlushOnSwitch = cfgDef.flushOnSwitch
+		legStart := opts.legStart()
 		m := pool.Get(mcfg)
 		defer pool.Put(m)
 		k := m.Kernel()
@@ -541,6 +596,7 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 		if !k.AllExited() || warmed != 2 {
 			return 0, fmt.Errorf("harness: ablation %s/%s did not finish", pair.Label, cfgDef.name)
 		}
+		opts.finishLeg(pair.Label+"/"+cfgDef.name, legStart, k)
 		return snapCounters(k).sub(warm).cycles, nil
 	})
 	if err != nil {

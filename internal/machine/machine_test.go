@@ -269,3 +269,35 @@ func BenchmarkSweepReuse(b *testing.B) {
 		pool.Put(m)
 	}
 }
+
+// TestPoolStats checks the hit/miss accounting: a Get served from an empty
+// pool (or a different config's shelf) counts a miss, a Get that reuses a
+// returned machine counts a hit, and a nil pool reports zeros forever.
+func TestPoolStats(t *testing.T) {
+	p := NewPool()
+	a := Config{Mode: cache.SecTimeCache, PhysFrames: 8192}
+	b := Config{Mode: cache.SecOff, PhysFrames: 8192}
+
+	if s := p.Stats(); s != (PoolStats{}) {
+		t.Fatalf("fresh pool stats = %+v, want zeros", s)
+	}
+	m1 := p.Get(a) // miss: pool empty
+	p.Get(a)       // miss: m1 checked out
+	if s := p.Stats(); s != (PoolStats{Misses: 2}) {
+		t.Fatalf("after two cold Gets stats = %+v, want 2 misses", s)
+	}
+	p.Put(m1)
+	if m := p.Get(a); m != m1 { // hit
+		t.Fatal("pool did not reuse the returned machine")
+	}
+	p.Get(b) // miss: different config shelf is empty
+	if s := p.Stats(); s != (PoolStats{Hits: 1, Misses: 3}) {
+		t.Fatalf("stats = %+v, want 1 hit / 3 misses", s)
+	}
+
+	var nilPool *Pool
+	nilPool.Get(a)
+	if s := nilPool.Stats(); s != (PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v, want zeros", s)
+	}
+}

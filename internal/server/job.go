@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"timecache/internal/harness"
 	"timecache/internal/stats"
+	"timecache/internal/telemetry"
 )
 
 // Spec is the wire-format job description accepted by POST /v1/jobs. It
@@ -137,24 +139,41 @@ type Status struct {
 	Finished   *time.Time `json:"finished,omitempty"`
 }
 
+// JobResources is the resource-accounting block of a job's JSON result: the
+// harness counters summed over every leg the job dispatched, plus how the
+// worker's machine pool served those legs. The harness counters byte-match
+// an equivalent in-process run (TestResourceEquivalence pins this); the pool
+// delta is service-side only.
+type JobResources struct {
+	harness.Resources
+	PoolHits   uint64 `json:"pool_hits"`
+	PoolMisses uint64 `json:"pool_misses"`
+}
+
 // job is the server-side job record. The mutex guards every mutable field;
-// done is closed exactly once, when the job reaches a terminal state.
+// done is closed exactly once, when the job reaches a terminal state. Each
+// job carries its own span recorder (served raw by /v1/jobs/{id}/trace) and
+// a job-scoped structured logger.
 type job struct {
 	id   string
 	spec Spec
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+	trace  *telemetry.SpanRecorder
+	log    *slog.Logger
 
-	mu       sync.Mutex
-	state    State
-	errMsg   string
-	table    *stats.Table
-	done     int
-	total    int
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	table     *stats.Table
+	done      int
+	total     int
+	created   time.Time
+	enqueued  time.Time
+	started   time.Time
+	finished  time.Time
+	resources *JobResources
 
 	events *eventLog
 	doneCh chan struct{}
@@ -169,6 +188,14 @@ func newJob(id string, spec Spec, now time.Time) *job {
 		events:  newEventLog(),
 		doneCh:  make(chan struct{}),
 	}
+}
+
+// resourcesSnapshot returns the job's final resource account (nil until the
+// job has run).
+func (j *job) resourcesSnapshot() *JobResources {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resources
 }
 
 // status snapshots the job for serialization.

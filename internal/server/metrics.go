@@ -8,69 +8,149 @@ import (
 	"sync/atomic"
 	"time"
 
+	"timecache/internal/harness"
 	"timecache/internal/telemetry"
 )
 
 // metrics is the /metrics endpoint's state, rendered in the Prometheus text
 // exposition format. Job durations reuse telemetry.Histogram — the same
 // log2-bucketed histogram the simulator uses for access latencies — so the
-// service layer and the simulator report through one mechanism.
+// service layer and the simulator report through one mechanism. Beyond the
+// queue/job counters it aggregates every finished job's resource account
+// (simulated cycles, instructions, per-level cache accesses, context
+// switches, s-bit delayed loads) and the machine-pool hit/miss totals, so an
+// operator can see where simulated work went without fetching any result.
 type metrics struct {
-	jobsAccepted atomic.Int64
-	jobsRejected atomic.Int64
-	jobsRunning  atomic.Int64
-	queueDepth   atomic.Int64
+	jobsAccepted   atomic.Int64
+	jobsRejected   atomic.Int64
+	jobsRunning    atomic.Int64
+	queueDepth     atomic.Int64
+	sseSubscribers atomic.Int64
 
-	mu       sync.Mutex
-	finished map[State]int64
-	duration telemetry.Histogram // job wall time, milliseconds
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+
+	mu           sync.Mutex
+	finished     map[State]int64
+	duration     telemetry.Histogram // job wall time, milliseconds, all jobs
+	byExperiment map[string]*telemetry.Histogram
+	resources    harness.Resources
 }
 
 func newMetrics() *metrics {
-	return &metrics{finished: map[State]int64{}}
+	return &metrics{
+		finished:     map[State]int64{},
+		byExperiment: map[string]*telemetry.Histogram{},
+	}
 }
 
-// finish records one terminal job.
-func (m *metrics) finish(state State, d time.Duration) {
+// finish records one terminal job and its duration, overall and per
+// experiment type.
+func (m *metrics) finish(state State, experiment string, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.finished[state]++
-	m.duration.Observe(uint64(d.Milliseconds()))
+	ms := uint64(d.Milliseconds())
+	m.duration.Observe(ms)
+	h := m.byExperiment[experiment]
+	if h == nil {
+		h = &telemetry.Histogram{}
+		m.byExperiment[experiment] = h
+	}
+	h.Observe(ms)
 }
 
-// render produces the Prometheus text format.
+// addJob folds one finished job's resource account and pool delta into the
+// totals.
+func (m *metrics) addJob(res JobResources) {
+	m.poolHits.Add(res.PoolHits)
+	m.poolMisses.Add(res.PoolMisses)
+	m.mu.Lock()
+	m.resources = m.resources.Add(res.Resources)
+	m.mu.Unlock()
+}
+
+// render produces the Prometheus text format. All mu-guarded state is copied
+// in one lock acquisition up front; quantiles and the rest of the rendering
+// work off that snapshot so a slow scrape never holds the lock that the job
+// finish path takes.
 func (m *metrics) render() string {
+	m.mu.Lock()
+	finished := make(map[State]int64, len(m.finished))
+	for st, n := range m.finished {
+		finished[st] = n
+	}
+	duration := m.duration // value copy: the bucket array copies with it
+	byExp := make(map[string]telemetry.Histogram, len(m.byExperiment))
+	for name, h := range m.byExperiment {
+		byExp[name] = *h
+	}
+	res := m.resources
+	m.mu.Unlock()
+
 	var b strings.Builder
-	counter := func(name, help string, v int64) {
+	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
-	counter("timecache_jobs_accepted_total", "Jobs admitted to the queue.", m.jobsAccepted.Load())
-	counter("timecache_jobs_rejected_total", "Jobs rejected with 429 (queue full).", m.jobsRejected.Load())
+	counter("timecache_jobs_accepted_total", "Jobs admitted to the queue.", uint64(m.jobsAccepted.Load()))
+	counter("timecache_jobs_rejected_total", "Jobs rejected with 429 (queue full).", uint64(m.jobsRejected.Load()))
 	gauge("timecache_jobs_running", "Jobs currently executing.", m.jobsRunning.Load())
 	gauge("timecache_queue_depth", "Jobs accepted but not yet running.", m.queueDepth.Load())
+	gauge("timecache_sse_subscribers", "Open SSE event-stream connections.", m.sseSubscribers.Load())
+	counter("timecache_pool_hits_total", "Machine-pool gets served by a pooled (Reset) machine.", m.poolHits.Load())
+	counter("timecache_pool_misses_total", "Machine-pool gets that assembled a fresh machine.", m.poolMisses.Load())
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	counter("timecache_job_legs_total", "Machine runs (experiment legs) dispatched by finished jobs.", res.Legs)
+	counter("timecache_sim_cycles_total", "Simulated cycles executed by finished jobs.", res.SimCycles)
+	counter("timecache_sim_instructions_total", "Simulated instructions executed by finished jobs.", res.Instructions)
+	fmt.Fprintf(&b, "# HELP timecache_cache_accesses_total Cache accesses by finished jobs, per level.\n")
+	fmt.Fprintf(&b, "# TYPE timecache_cache_accesses_total counter\n")
+	fmt.Fprintf(&b, "timecache_cache_accesses_total{level=\"l1i\"} %d\n", res.L1IAccesses)
+	fmt.Fprintf(&b, "timecache_cache_accesses_total{level=\"l1d\"} %d\n", res.L1DAccesses)
+	fmt.Fprintf(&b, "timecache_cache_accesses_total{level=\"llc\"} %d\n", res.LLCAccesses)
+	counter("timecache_context_switches_total", "Simulated context switches by finished jobs.", res.ContextSwitches)
+	counter("timecache_sbit_delayed_loads_total", "Loads TimeCache delayed on a clear s-bit (first access after a context switch), summed over levels.", res.SBitDelayedLoads)
+
 	fmt.Fprintf(&b, "# HELP timecache_jobs_finished_total Jobs reaching a terminal state.\n")
 	fmt.Fprintf(&b, "# TYPE timecache_jobs_finished_total counter\n")
-	states := make([]string, 0, len(m.finished))
-	for st := range m.finished {
+	states := make([]string, 0, len(finished))
+	for st := range finished {
 		states = append(states, string(st))
 	}
 	sort.Strings(states)
 	for _, st := range states {
-		fmt.Fprintf(&b, "timecache_jobs_finished_total{state=%q} %d\n", st, m.finished[State(st)])
+		fmt.Fprintf(&b, "timecache_jobs_finished_total{state=%q} %d\n", st, finished[State(st)])
 	}
 
+	summary := func(name, help string, labels string, h telemetry.Histogram) {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(&b, "%s{%squantile=\"%g\"} %d\n", name, labels, q, h.Quantile(q))
+		}
+		if labels == "" {
+			fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
+		} else {
+			l := strings.TrimSuffix(labels, ",")
+			fmt.Fprintf(&b, "%s_sum{%s} %d\n%s_count{%s} %d\n", name, l, h.Sum, name, l, h.Count)
+		}
+	}
 	fmt.Fprintf(&b, "# HELP timecache_job_duration_ms Job wall time in milliseconds.\n")
 	fmt.Fprintf(&b, "# TYPE timecache_job_duration_ms summary\n")
-	for _, q := range []float64{0.5, 0.9, 0.99} {
-		fmt.Fprintf(&b, "timecache_job_duration_ms{quantile=\"%g\"} %d\n", q, m.duration.Quantile(q))
+	summary("timecache_job_duration_ms", "", "", duration)
+
+	if len(byExp) > 0 {
+		fmt.Fprintf(&b, "# HELP timecache_experiment_duration_ms Job wall time in milliseconds, per experiment type.\n")
+		fmt.Fprintf(&b, "# TYPE timecache_experiment_duration_ms summary\n")
+		names := make([]string, 0, len(byExp))
+		for name := range byExp {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			summary("timecache_experiment_duration_ms", "", fmt.Sprintf("experiment=%q,", name), byExp[name])
+		}
 	}
-	fmt.Fprintf(&b, "timecache_job_duration_ms_sum %d\n", m.duration.Sum)
-	fmt.Fprintf(&b, "timecache_job_duration_ms_count %d\n", m.duration.Count)
 	return b.String()
 }

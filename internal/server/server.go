@@ -13,6 +13,18 @@
 // retrievable as CSV, markdown, or JSON. DELETE /v1/jobs/{id} cancels a job
 // mid-run: the per-job context interrupts the simulated machine within a
 // few thousand instructions.
+//
+// Every job is observable end to end: the server records a wall-clock span
+// for each lifecycle stage (validate → enqueue → queue-wait → run → render)
+// and the harness records one span per machine run inside the run stage, all
+// retrievable as a Chrome trace from GET /v1/jobs/{id}/trace. The JSON
+// result carries a resource account (simulated cycles, instructions,
+// per-level cache accesses, context switches, s-bit delayed loads, pool
+// hits/misses), /metrics aggregates the same counters across jobs, and every
+// state transition emits a structured log line through the injected
+// slog.Logger. All wall time — timestamps, durations, job deadlines — comes
+// from the injected clock.WallClock, so the timeout and drain paths are
+// testable on a fake clock.
 package server
 
 import (
@@ -20,14 +32,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"timecache/internal/clock"
 	"timecache/internal/harness"
 	"timecache/internal/machine"
+	"timecache/internal/telemetry"
 )
 
 // Config sizes the service.
@@ -46,6 +62,14 @@ type Config struct {
 	// RetryAfter is the Retry-After hint (seconds) sent with 429 responses.
 	// Zero defaults to 1.
 	RetryAfter int
+	// Clock supplies all wall time: job timestamps, durations, deadline
+	// timers, trace span endpoints. Nil defaults to the real clock; tests
+	// inject *clock.Fake and step deadlines deterministically.
+	Clock clock.WallClock
+	// Logger receives the service's structured logs (one line per state
+	// transition, admission decision, cancellation, timeout, drain step).
+	// Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) queueDepth() int {
@@ -64,7 +88,7 @@ func (c Config) retryAfter() int {
 
 // Cancellation causes, distinguished from deadline expiry via
 // context.Cause: a client cancel or a drain hard-stop lands the job in
-// StateCancelled; everything else (including deadline) is StateFailed.
+// StateCancelled; a deadline (and any run error) is StateFailed.
 var (
 	errClientCancel = errors.New("cancelled by client")
 	errDrainStop    = errors.New("cancelled by server drain")
@@ -88,17 +112,27 @@ type Server struct {
 	workers   sync.WaitGroup
 
 	metrics *metrics
-	now     func() time.Time
+	clk     clock.WallClock
+	log     *slog.Logger
 }
 
 // New builds a server and starts its workers.
 func New(cfg Config) *Server {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:     cfg,
 		queue:   make(chan *job, cfg.queueDepth()),
 		jobs:    map[string]*job{},
 		metrics: newMetrics(),
-		now:     time.Now,
+		clk:     clk,
+		log:     logger,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -111,15 +145,20 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
+	s.log.Info("server started", "workers", cfg.Workers, "queue_depth", cfg.queueDepth())
 	return s
 }
 
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// now reads the injected wall clock.
+func (s *Server) now() time.Time { return s.clk.Now() }
 
 // Drain gracefully stops the server: new submissions are rejected with 503,
 // queued and running jobs are allowed to finish, and Drain returns when the
@@ -128,6 +167,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // ctx.Err() after the workers unwind.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.log.Info("drain started", "queued", len(s.queue), "running", s.running.Load())
 	s.closeOnce.Do(func() { close(s.queue) })
 	done := make(chan struct{})
 	go func() {
@@ -136,6 +176,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("drain complete", "forced", false)
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -144,14 +185,30 @@ func (s *Server) Drain(ctx context.Context) error {
 			jobs = append(jobs, j)
 		}
 		s.mu.Unlock()
+		s.log.Warn("drain grace expired; hard-cancelling unfinished jobs", "jobs", len(jobs))
 		for _, j := range jobs {
 			if j.cancel != nil {
 				j.cancel(errDrainStop)
 			}
 		}
 		<-done
+		s.log.Info("drain complete", "forced", true)
 		return ctx.Err()
 	}
+}
+
+// DrainWithGrace drains with a hard-stop deadline of grace from now,
+// measured on the server's injected clock (so tests can expire the grace
+// with a fake-clock Advance). A non-positive grace waits forever.
+func (s *Server) DrainWithGrace(grace time.Duration) error {
+	if grace <= 0 {
+		return s.Drain(context.Background())
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	timer := s.clk.AfterFunc(grace, func() { cancel(context.DeadlineExceeded) })
+	defer timer.Stop()
+	defer cancel(nil)
+	return s.Drain(ctx)
 }
 
 // worker executes queued jobs until the queue closes. Each worker owns one
@@ -165,7 +222,9 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob drives one job from queued to a terminal state.
+// runJob drives one job from queued to a terminal state, recording the
+// queue-wait / run / render lifecycle spans and the job's resource account
+// along the way.
 func (s *Server) runJob(j *job, pool *machine.Pool) {
 	j.mu.Lock()
 	if j.state != StateQueued { // cancelled while queued
@@ -174,14 +233,21 @@ func (s *Server) runJob(j *job, pool *machine.Pool) {
 	}
 	j.state = StateRunning
 	j.started = s.now()
+	started, enqueued := j.started, j.enqueued
 	j.mu.Unlock()
 	s.running.Add(1)
 	s.metrics.jobsRunning.Store(s.running.Load())
+	j.trace.Lifecycle("queue-wait", enqueued, started, nil)
+	j.log.Info("job running", "queue_wait", started.Sub(enqueued))
 	s.publishState(j)
 
+	account := &harness.ResourceAccount{}
 	opts := j.spec.options()
 	opts.Ctx = j.ctx
 	opts.Pool = pool
+	opts.Spans = j.trace
+	opts.Now = s.clk.Now
+	opts.Account = account
 	opts.Progress = func(done, total int) {
 		j.mu.Lock()
 		j.done, j.total = done, total
@@ -189,11 +255,24 @@ func (s *Server) runJob(j *job, pool *machine.Pool) {
 		j.events.publish("progress", mustJSON(map[string]int{"done": done, "total": total}))
 	}
 
+	ps0 := pool.Stats()
 	tab, err := harness.RunJob(j.spec.harnessJob(), opts)
+	ps1 := pool.Stats()
+
+	runEnd := s.now()
+	res := JobResources{
+		Resources:  account.Snapshot(),
+		PoolHits:   ps1.Hits - ps0.Hits,
+		PoolMisses: ps1.Misses - ps0.Misses,
+	}
+	j.trace.Lifecycle("run", started, runEnd, map[string]any{
+		"legs": res.Legs, "sim_cycles": res.SimCycles, "instructions": res.Instructions,
+	})
 
 	finished := s.now()
 	j.mu.Lock()
 	j.finished = finished
+	j.resources = &res
 	switch cause := context.Cause(j.ctx); {
 	case err == nil:
 		j.state = StateDone
@@ -201,19 +280,36 @@ func (s *Server) runJob(j *job, pool *machine.Pool) {
 	case errors.Is(cause, errClientCancel) || errors.Is(cause, errDrainStop):
 		j.state = StateCancelled
 		j.errMsg = cause.Error()
+	case errors.Is(cause, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = cause.Error()
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
-	state := j.state
-	started := j.started
+	state, errMsg := j.state, j.errMsg
 	j.mu.Unlock()
+
+	// The render stage finalizes the result (resource snapshot, terminal
+	// state). Its span closes the lifecycle, so the five stages tile the
+	// job's whole wall time from request arrival to finished.
+	j.trace.Lifecycle("render", runEnd, finished, nil)
+	s.publishState(j)
+	j.events.close()
 
 	s.running.Add(-1)
 	s.metrics.jobsRunning.Store(s.running.Load())
-	s.metrics.finish(state, finished.Sub(started))
-	s.publishState(j)
-	j.events.close()
+	s.metrics.finish(state, j.spec.Experiment, finished.Sub(started))
+	s.metrics.addJob(res)
+	log := j.log.With("state", state, "duration", finished.Sub(started),
+		"legs", res.Legs, "sim_cycles", res.SimCycles,
+		"pool_hits", res.PoolHits, "pool_misses", res.PoolMisses)
+	switch state {
+	case StateDone:
+		log.Info("job finished")
+	default:
+		log.Warn("job finished", "error", errMsg)
+	}
 	close(j.doneCh)
 }
 
@@ -257,7 +353,9 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	reqStart := s.now()
 	if s.draining.Load() {
+		s.log.Info("submit rejected: draining")
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -265,43 +363,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		s.log.Info("submit rejected: bad spec", "error", err)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 		return
 	}
 	if err := spec.validate(); err != nil {
+		s.log.Info("submit rejected: invalid spec", "experiment", spec.Experiment, "error", err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
 	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
-	j := newJob(id, spec, s.now())
+	j := newJob(id, spec, reqStart)
+	j.trace = telemetry.NewSpanRecorder(s.clk.Now)
+	j.log = s.log.With("job", id, "experiment", spec.Experiment)
+	j.trace.Lifecycle("validate", reqStart, s.now(), map[string]any{"experiment": spec.Experiment})
 	timeout := s.cfg.DefaultTimeout
 	if spec.TimeoutMS > 0 {
 		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
 	}
-	base := context.Background()
-	ctx, cancel := context.WithCancelCause(base)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j.ctx, j.cancel = ctx, cancel
 	if timeout > 0 {
-		var tcancel context.CancelFunc
-		ctx, tcancel = context.WithDeadlineCause(ctx, s.now().Add(timeout), context.DeadlineExceeded)
-		// The deadline timer is released when the job finishes — or, for a
-		// job rejected at admission (whose doneCh never closes), when the
-		// rejection path cancels the context.
+		// The deadline is a clock timer, not context.WithDeadline, so a fake
+		// clock can expire it deterministically; context.Cause still reads
+		// DeadlineExceeded. The timer is released when the job finishes — or,
+		// for a job rejected at admission (whose doneCh never closes), when
+		// the rejection path cancels the context.
+		timer := s.clk.AfterFunc(timeout, func() {
+			cancel(context.DeadlineExceeded)
+			j.trace.Instant("deadline", s.now(), map[string]any{"timeout_ms": timeout.Milliseconds()})
+			j.log.Warn("job deadline expired", "timeout", timeout)
+		})
 		go func() {
 			select {
 			case <-j.doneCh:
 			case <-ctx.Done():
 			}
-			tcancel()
+			timer.Stop()
 		}()
 	}
-	j.ctx, j.cancel = ctx, cancel
 
 	s.mu.Lock()
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 
+	validated := s.now()
 	select {
 	case s.queue <- j:
 	default:
@@ -321,12 +429,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		cancel(errors.New("rejected: queue full"))
 		s.metrics.jobsRejected.Add(1)
+		j.log.Warn("job rejected: queue full", "queue_depth", cap(s.queue), "retry_after_s", s.cfg.retryAfter())
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfter()))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("admission queue full (%d queued); retry later", cap(s.queue)))
 		return
 	}
+	enqueued := s.now()
+	j.mu.Lock()
+	j.enqueued = enqueued
+	j.mu.Unlock()
+	j.trace.Lifecycle("enqueue", validated, enqueued, nil)
 	s.metrics.jobsAccepted.Add(1)
+	j.log.Info("job accepted", "queue_len", len(s.queue), "timeout", timeout)
 	s.publishState(j)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
@@ -380,13 +495,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.finished = s.now()
 		j.mu.Unlock()
 		j.cancel(errClientCancel)
-		s.metrics.finish(StateCancelled, 0)
+		j.trace.Instant("cancel", s.now(), map[string]any{"while": "queued"})
+		j.log.Info("job cancelled while queued")
+		s.metrics.finish(StateCancelled, j.spec.Experiment, 0)
 		s.publishState(j)
 		j.events.close()
 		close(j.doneCh)
 	default: // running: the worker observes the context and finalizes.
 		j.mu.Unlock()
 		j.cancel(errClientCancel)
+		j.trace.Instant("cancel", s.now(), map[string]any{"while": "running"})
+		j.log.Info("job cancel requested while running")
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
 }
@@ -406,6 +525,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
+	s.metrics.sseSubscribers.Add(1)
+	defer s.metrics.sseSubscribers.Add(-1)
 	hist, live, unsub := j.events.subscribe()
 	defer unsub()
 	writeSSE := func(ev event) {
@@ -451,14 +572,32 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte(tab.Markdown()))
 	case "json":
 		writeJSON(w, http.StatusOK, map[string]any{
-			"id":     j.id,
-			"header": tab.Header,
-			"rows":   tab.Rows,
+			"id":        j.id,
+			"header":    tab.Header,
+			"rows":      tab.Rows,
+			"resources": j.resourcesSnapshot(),
 		})
 	default:
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("unknown format %q (want csv, md, or json)", format))
 	}
+}
+
+// handleTrace serves the job's span recorder as a Chrome trace-event JSON
+// document (load it in Perfetto or chrome://tracing). Available at any point
+// in the job's life; spans recorded so far are returned.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	b, err := j.trace.JSON(map[string]any{"job": j.id, "experiment": j.spec.Experiment})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(b)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

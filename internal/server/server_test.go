@@ -16,6 +16,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"timecache/internal/clock"
 )
 
 // smallSpec is a seconds-scale single-pair job: two modes at 20k measured
@@ -441,19 +443,55 @@ func TestCancelRunning(t *testing.T) {
 	}
 }
 
+// waitRunning polls until a worker has picked the job up.
+func waitRunning(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, ts, id).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // TestJobTimeout: a per-job deadline expires the job into failed (not
-// cancelled — the distinction is the cancellation cause).
+// cancelled — the distinction is the cancellation cause). The deadline is
+// driven entirely by the injected fake clock: no matter how fast or slow the
+// machine runs the simulation, the job cannot fail until Advance crosses the
+// timeout, and must fail after.
 func TestJobTimeout(t *testing.T) {
-	_, ts := startServer(t, Config{Workers: 1})
+	fake := clock.NewFake(time.Time{})
+	_, ts := startServer(t, Config{Workers: 1, Clock: fake})
 	spec := longSpec()
-	spec.TimeoutMS = 50
+	spec.TimeoutMS = 60_000
 	st, _ := submit(t, ts, spec)
+	waitRunning(t, ts, st.ID)
+	if got := getStatus(t, ts, st.ID); got.State != StateRunning {
+		t.Fatalf("before Advance: state = %s, want running", got.State)
+	}
+	fake.Advance(61 * time.Second)
 	final := waitTerminal(t, ts, st.ID, 15*time.Second)
 	if final.State != StateFailed {
 		t.Fatalf("state after timeout = %s, want failed", final.State)
 	}
 	if !strings.Contains(final.Error, "deadline") {
 		t.Errorf("timeout error = %q, want a deadline message", final.Error)
+	}
+}
+
+// TestJobTimeoutNotPremature: advancing the fake clock to just short of the
+// deadline must not fail the job — it runs to completion.
+func TestJobTimeoutNotPremature(t *testing.T) {
+	fake := clock.NewFake(time.Time{})
+	_, ts := startServer(t, Config{Workers: 1, Clock: fake})
+	spec := smallSpec()
+	spec.TimeoutMS = 60_000
+	st, _ := submit(t, ts, spec)
+	fake.Advance(59 * time.Second)
+	final := waitTerminal(t, ts, st.ID, 30*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("state = %s (%s), want done under an unexpired deadline", final.State, final.Error)
 	}
 }
 
@@ -497,28 +535,42 @@ func TestDrain(t *testing.T) {
 
 // TestDrainHardStop: when the drain grace period expires mid-run, jobs are
 // hard-cancelled — they still reach a terminal state rather than being
-// dropped.
+// dropped. The grace period is measured on the injected fake clock
+// (DrainWithGrace), so the hard-stop fires when the test advances time, not
+// when the wall does.
 func TestDrainHardStop(t *testing.T) {
-	s, ts := startServer(t, Config{Workers: 1})
+	fake := clock.NewFake(time.Time{})
+	s, ts := startServer(t, Config{Workers: 1, Clock: fake})
 	st, _ := submit(t, ts, longSpec())
-	deadline := time.Now().Add(10 * time.Second)
-	for getStatus(t, ts, st.ID).State != StateRunning {
-		if time.Now().After(deadline) {
-			t.Fatal("job never started running")
+	waitRunning(t, ts, st.ID)
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.DrainWithGrace(5 * time.Second) }()
+	// Advance until the grace timer (registered inside DrainWithGrace,
+	// concurrently with this loop) has fired and Drain has returned. Each
+	// Advance covers the full grace, so exactly one firing is ever needed
+	// once the timer exists; the loop only rides out the registration race.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		select {
+		case err := <-errCh:
+			if err == nil {
+				t.Fatal("hard drain returned nil, want context error")
+			}
+			final := getStatus(t, ts, st.ID)
+			if !final.State.Terminal() {
+				t.Fatalf("job %s non-terminal after hard drain: %s", st.ID, final.State)
+			}
+			if final.State != StateCancelled {
+				t.Errorf("hard-drained job state = %s, want cancelled", final.State)
+			}
+			return
+		default:
 		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain did not return after grace expiry")
+		}
+		fake.Advance(6 * time.Second)
 		time.Sleep(2 * time.Millisecond)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
-	defer cancel()
-	if err := s.Drain(ctx); err == nil {
-		t.Fatal("hard drain returned nil, want context error")
-	}
-	final := getStatus(t, ts, st.ID)
-	if !final.State.Terminal() {
-		t.Fatalf("job %s non-terminal after hard drain: %s", st.ID, final.State)
-	}
-	if final.State != StateCancelled {
-		t.Errorf("hard-drained job state = %s, want cancelled", final.State)
 	}
 }
 

@@ -90,8 +90,15 @@ func (t *TraceBuilder) Events() []TraceEvent { return t.events }
 
 // JSON serializes the trace in the Chrome trace-event JSON Object Format.
 func (t *TraceBuilder) JSON(other map[string]any) ([]byte, error) {
+	return marshalTraceFile(t.events, other)
+}
+
+// marshalTraceFile wraps events in the JSON Object Format; TraceBuilder
+// (simulation-cycle traces) and SpanRecorder (wall-clock job traces) share
+// it so both outputs load in the same viewers.
+func marshalTraceFile(events []TraceEvent, other map[string]any) ([]byte, error) {
 	f := traceFile{
-		TraceEvents:     t.events,
+		TraceEvents:     events,
 		DisplayTimeUnit: "ms",
 		OtherData:       other,
 	}
