@@ -19,6 +19,14 @@
 // own view of itself (queue depth, running jobs, SSE subscribers — scraped
 // from /metrics and parsed with the same strict exposition parser the tests
 // use), drawn as textplot sparklines.
+//
+// -repeat-frac exercises the server's content-addressed result cache: that
+// fraction of submissions reuses one spec (the rest get unique instruction
+// budgets, so they can never hit). The summary then reports each
+// disposition's count (from the X-Timecache-Cache response header), the hit
+// rate, and separate latency percentiles for cached answers (p50/p99-hit-ms)
+// versus simulated ones (p50/p99-miss-ms, which also covers coalesced and
+// bypassed jobs — they wait for a real simulation).
 package main
 
 import (
@@ -52,9 +60,14 @@ func main() {
 		wantGolden = flag.String("want-golden", "", "compare the first job's CSV result to this file byte-for-byte")
 		dash       = flag.Bool("dash", false, "render a live terminal dashboard while the load runs")
 		dashEvery  = flag.Duration("dash-interval", 500*time.Millisecond, "dashboard refresh/sample interval")
+		repeatFrac = flag.Float64("repeat-frac", 0, "fraction of submissions reusing one spec (0 = every job unique, 1 = all identical)")
 	)
 	flag.Parse()
-	if err := run(*addr, *n, *c, *experiment, *pairs, *instrs, *warmup, *timeout, *wantGolden, *dash, *dashEvery); err != nil {
+	if *repeatFrac < 0 || *repeatFrac > 1 {
+		fmt.Fprintln(os.Stderr, "timecache-bench-client: -repeat-frac must be in [0, 1]")
+		os.Exit(2)
+	}
+	if err := run(*addr, *n, *c, *experiment, *pairs, *instrs, *warmup, *timeout, *wantGolden, *dash, *dashEvery, *repeatFrac); err != nil {
 		fmt.Fprintln(os.Stderr, "timecache-bench-client:", err)
 		os.Exit(1)
 	}
@@ -65,6 +78,7 @@ type clientResult struct {
 	latency time.Duration
 	retries int
 	csv     string
+	cache   string // X-Timecache-Cache disposition ("" when the server has no cache)
 	err     error
 }
 
@@ -90,7 +104,7 @@ func (t *tracker) snapshot() (int, []float64) {
 	return t.done, append([]float64(nil), t.lats...)
 }
 
-func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64, timeout time.Duration, wantGolden string, dash bool, dashEvery time.Duration) error {
+func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64, timeout time.Duration, wantGolden string, dash bool, dashEvery time.Duration, repeatFrac float64) error {
 	spec := map[string]any{
 		"experiment":      experiment,
 		"instrs_per_proc": instrs,
@@ -102,6 +116,34 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return err
+	}
+
+	// Per-job bodies: job 0 always submits the base spec (so -want-golden
+	// stays meaningful), and each later job either repeats it — decided by
+	// error diffusion, so the repeat count tracks repeatFrac exactly for any
+	// n — or gets a unique instruction budget that cannot collide with any
+	// other submission's cache key.
+	bodies := make([][]byte, n)
+	repeated, uniques := 0, 0
+	for i := 0; i < n; i++ {
+		if i == 0 || float64(repeated) < repeatFrac*float64(i) {
+			if i > 0 {
+				repeated++
+			}
+			bodies[i] = body
+			continue
+		}
+		uniques++
+		uspec := make(map[string]any, len(spec))
+		for k, v := range spec {
+			uspec[k] = v
+		}
+		uspec["instrs_per_proc"] = instrs + uint64(uniques)
+		ub, err := json.Marshal(uspec)
+		if err != nil {
+			return err
+		}
+		bodies[i] = ub
 	}
 
 	client := &http.Client{Timeout: timeout}
@@ -126,7 +168,7 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = oneJob(client, addr, body, deadline)
+			results[i] = oneJob(client, addr, bodies[i], deadline)
 			tr.complete(float64(results[i].latency.Milliseconds()), results[i].err == nil)
 		}(i)
 	}
@@ -137,17 +179,38 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 		dashWG.Wait()
 	}
 
-	var lats []float64
+	var lats, hitLats, missLats []float64
 	retries := 0
 	failed := 0
+	hits, misses, coalesced, bypass := 0, 0, 0, 0
 	for i, r := range results {
 		if r.err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "job %d: %v\n", i, r.err)
 			continue
 		}
-		lats = append(lats, float64(r.latency.Milliseconds()))
+		// Microsecond resolution: cache hits finish well under a millisecond,
+		// so whole-ms percentiles would flatten them to zero.
+		ms := float64(r.latency.Microseconds()) / 1000
+		lats = append(lats, ms)
 		retries += r.retries
+		switch r.cache {
+		case "hit":
+			hits++
+			hitLats = append(hitLats, ms)
+		default:
+			// miss, coalesced, bypass, or "" (no cache on the server): the
+			// job waited for a real simulation.
+			switch r.cache {
+			case "miss":
+				misses++
+			case "coalesced":
+				coalesced++
+			case "bypass":
+				bypass++
+			}
+			missLats = append(missLats, ms)
+		}
 	}
 
 	tab := stats.NewTable("metric", "value")
@@ -161,9 +224,32 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 	if n > 0 && wall > 0 {
 		tab.Add("jobs-per-sec", float64(n-failed)/wall.Seconds())
 	}
+	if hits+misses+coalesced+bypass > 0 {
+		tab.Add("cache-hits", fmt.Sprintf("%d", hits))
+		tab.Add("cache-misses", fmt.Sprintf("%d", misses))
+		tab.Add("cache-coalesced", fmt.Sprintf("%d", coalesced))
+		tab.Add("cache-bypass", fmt.Sprintf("%d", bypass))
+		tab.Add("hit-rate", float64(hits)/float64(n-failed))
+		if len(hitLats) > 0 {
+			tab.Add("p50-hit-ms", stats.Percentile(hitLats, 0.50))
+			tab.Add("p99-hit-ms", stats.Percentile(hitLats, 0.99))
+		}
+		if len(missLats) > 0 {
+			tab.Add("p50-miss-ms", stats.Percentile(missLats, 0.50))
+			tab.Add("p99-miss-ms", stats.Percentile(missLats, 0.99))
+		}
+	}
 	if n > 0 && results[0].id != "" {
-		// The CI smoke job fetches this job's trace and validates it.
 		tab.Add("first-job", results[0].id)
+	}
+	// The CI smoke job fetches this job's trace and validates its lifecycle
+	// spans; hits and coalesced jobs never reach a worker, so the first job
+	// that actually simulated is the one with queue-wait/run/render spans.
+	for _, r := range results {
+		if r.err == nil && r.id != "" && r.cache != "hit" && r.cache != "coalesced" {
+			tab.Add("first-run-job", r.id)
+			break
+		}
 	}
 	fmt.Print(tab.String())
 
@@ -298,6 +384,7 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 			return res
 		}
 		res.id = st.ID
+		res.cache = resp.Header.Get("X-Timecache-Cache")
 		break
 	}
 

@@ -17,7 +17,17 @@
 //	GET    /v1/jobs/{id}/result result as ?format=csv|md|json
 //	GET    /v1/jobs/{id}/trace  per-job Chrome trace (lifecycle + leg spans)
 //	GET    /v1/experiments      available experiment names
+//	GET    /v1/cache/stats      result-cache accounting snapshot
+//	DELETE /v1/cache            drop every cached result
 //	GET    /healthz /readyz /metrics
+//
+// The daemon fronts the workers with a content-addressed result cache
+// (bounded by -cache-entries and -cache-bytes; -cache-entries 0 disables
+// it): a submission whose canonical spec matches a cached result is answered
+// without simulating, concurrent identical submissions collapse onto one
+// run, and every POST /v1/jobs response reports its disposition in the
+// X-Timecache-Cache header (hit, miss, coalesced, or bypass — jobs can opt
+// out per-submission with "no_cache": true).
 //
 // Structured logs (one line per admission decision, state transition,
 // cancellation, timeout, and drain step) go to stderr in text or JSON form
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	"timecache/internal/clock"
+	"timecache/internal/resultcache"
 	"timecache/internal/server"
 )
 
@@ -57,6 +68,8 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "structured log encoding: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		cacheEnts  = flag.Int("cache-entries", 512, "result-cache capacity in entries (0 disables the cache)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "result-cache capacity in accounted bytes (0 = unbounded)")
 	)
 	flag.Parse()
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -64,7 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "timecache-serve:", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *debugAddr, *workers, *queue, *jobTimeout, *drainGrace, logger); err != nil {
+	if err := run(*addr, *debugAddr, *workers, *queue, *cacheEnts, *cacheBytes, *jobTimeout, *drainGrace, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "timecache-serve:", err)
 		os.Exit(1)
 	}
@@ -87,13 +100,23 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-func run(addr, debugAddr string, workers, queue int, jobTimeout, drainGrace time.Duration, logger *slog.Logger) error {
+func run(addr, debugAddr string, workers, queue, cacheEntries int, cacheBytes int64, jobTimeout, drainGrace time.Duration, logger *slog.Logger) error {
+	var rcache *resultcache.Cache
+	cacheDesc := "off"
+	if cacheEntries > 0 {
+		rcache = resultcache.New(
+			resultcache.WithMaxEntries(cacheEntries),
+			resultcache.WithMaxBytes(cacheBytes),
+		)
+		cacheDesc = fmt.Sprintf("%d entries / %d MiB", cacheEntries, cacheBytes>>20)
+	}
 	srv := server.New(server.Config{
 		Workers:        workers,
 		QueueDepth:     queue,
 		DefaultTimeout: jobTimeout,
 		Clock:          clock.Real{},
 		Logger:         logger,
+		Cache:          rcache,
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -101,8 +124,8 @@ func run(addr, debugAddr string, workers, queue int, jobTimeout, drainGrace time
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("timecache-serve: listening on %s (%d workers, queue %d)\n",
-		ln.Addr(), workers, queue)
+	fmt.Printf("timecache-serve: listening on %s (%d workers, queue %d, cache %s)\n",
+		ln.Addr(), workers, queue, cacheDesc)
 
 	if debugAddr != "" {
 		dln, err := net.Listen("tcp", debugAddr)

@@ -69,12 +69,15 @@ func (j Job) Validate() error {
 		_, err := selectPairs(j.Pairs)
 		return err
 	case ExpAblation:
-		pairs, err := selectPairs(j.Pairs)
-		if err != nil {
+		if _, err := selectPairs(j.Pairs); err != nil {
 			return err
 		}
 		if len(j.Pairs) > 1 {
-			return fmt.Errorf("harness: ablation takes exactly one pair, got %d", len(pairs))
+			// Report the requested count, not the resolved one: with empty
+			// labels selectPairs resolves to the full default set, and the
+			// resolved count would misstate what the client actually asked
+			// for.
+			return fmt.Errorf("harness: ablation takes exactly one pair, got %d", len(j.Pairs))
 		}
 		return nil
 	case ExpParsec:
@@ -118,52 +121,32 @@ func selectPairs(labels []string) ([]workload.Pair, error) {
 // RunJob validates and runs a job, returning its rendered result table. The
 // run obeys opts.Ctx (cancellation, deadlines), draws machines from
 // opts.Pool when set, and reports opts.Progress after each completed leg.
+//
+// The job is canonicalized first (Canonical is the single source of truth
+// for every defaulted selection), so the result depends only on the
+// canonical form — which is exactly what Fingerprint hashes and what the
+// result cache in front of the job service keys on.
 func RunJob(j Job, opts Options) (*stats.Table, error) {
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}
+	j = j.Canonical()
 	switch j.Experiment {
 	case ExpTableII:
 		pairs, _ := selectPairs(j.Pairs)
 		return TableIITable(pairs, opts)
 	case ExpParsec:
-		names := j.Workloads
-		if len(names) == 0 {
-			names = workload.ParsecNames()
-		}
-		return ParsecTable(names, opts)
+		return ParsecTable(j.Workloads, opts)
 	case ExpLLCSweep:
 		pairs, _ := selectPairs(j.Pairs)
-		if len(j.Pairs) == 0 {
-			// Fig. 10 default: the same-benchmark pairs only.
-			pairs = samePairs(pairs)
-		}
-		sizes := j.LLCSizes
-		if len(sizes) == 0 {
-			sizes = []int{512 << 10, 1 << 20, 2 << 20, 4 << 20}
-		}
-		return LLCSweepTable(sizes, pairs, opts)
+		return LLCSweepTable(j.LLCSizes, pairs, opts)
 	case ExpAblation:
 		pairs, _ := selectPairs(j.Pairs)
-		if len(j.Pairs) == 0 {
-			pairs, _ = selectPairs([]string{"2Xgobmk"})
-		}
 		return AblationTable(pairs[0], opts)
 	case ExpBookkeeping:
-		slices := j.SliceCycles
-		if len(slices) == 0 {
-			slices = []uint64{100_000, 200_000, 400_000, 800_000}
-		}
-		return BookkeepingTable(slices, opts)
+		return BookkeepingTable(j.SliceCycles, opts)
 	case ExpSecurity:
-		keyBits, seed := j.KeyBits, j.Seed
-		if keyBits == 0 {
-			keyBits = 64
-		}
-		if seed == 0 {
-			seed = 12345
-		}
-		return SecurityTable(keyBits, seed, opts)
+		return SecurityTable(j.KeyBits, j.Seed, opts)
 	}
 	// Unreachable: Validate rejected everything else.
 	return nil, fmt.Errorf("harness: unknown experiment %q", j.Experiment)

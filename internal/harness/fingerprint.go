@@ -1,0 +1,172 @@
+// Job canonicalization and content addressing. The simulator is
+// deterministic by construction (the golden tests byte-diff -j1 vs -j8 and
+// HTTP vs CLI), so a validated Job — after its defaults are applied — fully
+// determines the rendered result bytes. Canonical() makes that determination
+// explicit: it resolves every defaulted selection field to the concrete
+// values RunJob would use and zeroes every field the experiment ignores, so
+// two specs that run the same simulation compare (and hash) equal.
+// Fingerprint() is a SHA-256 over a stable, length-delimited encoding of the
+// canonical form plus a schema-version tag; the result cache in front of the
+// job service keys on it.
+//
+// Field order is kept, not sorted: Pairs/Workloads/LLCSizes/SliceCycles
+// order selects the row order of the rendered table, so it is semantically
+// significant and two selections that differ only in order are different
+// results. Nothing in Job is order-irrelevant today; if such a field is ever
+// added, Canonical must sort it.
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+
+	"timecache/internal/workload"
+)
+
+// FingerprintSchemaVersion tags every fingerprint. Bump it whenever a
+// result-affecting change lands — new defaults, workload profile changes,
+// timing-model changes — so stale cache entries from older builds can never
+// alias the new results. The golden tests catch unintended result drift; an
+// intended drift is exactly when this constant must move.
+const FingerprintSchemaVersion = 1
+
+// Default selections, shared by Canonical and RunJob so the canonical form
+// can never diverge from what actually runs.
+
+// defaultLLCSizes is the Fig. 10 default sweep ladder (512 KB – 4 MB).
+func defaultLLCSizes() []int { return []int{512 << 10, 1 << 20, 2 << 20, 4 << 20} }
+
+// defaultSliceLadder is the §VI-D bookkeeping-scaling default ladder.
+func defaultSliceLadder() []uint64 { return []uint64{100_000, 200_000, 400_000, 800_000} }
+
+// Security experiment defaults.
+const (
+	defaultKeyBits = 64
+	defaultSeed    = 12345
+)
+
+// defaultAblationPair is the pair RunDefenseAblation uses when none is named.
+const defaultAblationPair = "2Xgobmk"
+
+// pairLabels projects a pair list back to its labels.
+func pairLabels(pairs []workload.Pair) []string {
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Label
+	}
+	return out
+}
+
+// Canonical resolves the job's defaults and drops its ignored fields: the
+// returned job selects exactly what RunJob would run, with every selection
+// spelled out explicitly. Canonical is idempotent, and RunJob(j) and
+// RunJob(j.Canonical()) produce byte-identical results (RunJob canonicalizes
+// internally). The result is only meaningful for jobs that pass Validate.
+func (j Job) Canonical() Job {
+	c := Job{Experiment: j.Experiment}
+	switch j.Experiment {
+	case ExpTableII:
+		pairs, _ := selectPairs(j.Pairs)
+		c.Pairs = pairLabels(pairs)
+	case ExpLLCSweep:
+		pairs, _ := selectPairs(j.Pairs)
+		if len(j.Pairs) == 0 {
+			// Fig. 10 default: the same-benchmark pairs only.
+			pairs = samePairs(pairs)
+		}
+		c.Pairs = pairLabels(pairs)
+		c.LLCSizes = append([]int(nil), j.LLCSizes...)
+		if len(c.LLCSizes) == 0 {
+			c.LLCSizes = defaultLLCSizes()
+		}
+	case ExpAblation:
+		c.Pairs = append([]string(nil), j.Pairs...)
+		if len(c.Pairs) == 0 {
+			c.Pairs = []string{defaultAblationPair}
+		}
+	case ExpParsec:
+		c.Workloads = append([]string(nil), j.Workloads...)
+		if len(c.Workloads) == 0 {
+			c.Workloads = workload.ParsecNames()
+		}
+	case ExpBookkeeping:
+		c.SliceCycles = append([]uint64(nil), j.SliceCycles...)
+		if len(c.SliceCycles) == 0 {
+			c.SliceCycles = defaultSliceLadder()
+		}
+	case ExpSecurity:
+		c.KeyBits, c.Seed = j.KeyBits, j.Seed
+		if c.KeyBits == 0 {
+			c.KeyBits = defaultKeyBits
+		}
+		if c.Seed == 0 {
+			c.Seed = defaultSeed
+		}
+	}
+	return c
+}
+
+// Fingerprint returns the job's content address: a hex SHA-256 over a
+// stable, length-delimited encoding of the canonical form, prefixed with
+// FingerprintSchemaVersion. Default-equivalent jobs ({table2} vs {table2,
+// Pairs: <every pair spelled out>}) fingerprint equal; any result-affecting
+// field change fingerprints different; the value is stable across processes
+// and platforms. Fields an experiment ignores (e.g. Seed on table2) are
+// dropped by Canonical and so cannot perturb the hash.
+func (j Job) Fingerprint() string {
+	c := j.Canonical()
+	h := sha256.New()
+	fmt.Fprintf(h, "timecache-job/%d\x00", FingerprintSchemaVersion)
+	hashString(h, c.Experiment)
+	hashStrings(h, c.Pairs)
+	hashStrings(h, c.Workloads)
+	hashInts(h, c.LLCSizes)
+	hashUints(h, c.SliceCycles)
+	fmt.Fprintf(h, "i%d\x00u%d\x00", c.KeyBits, c.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FidelityTag returns a stable encoding of the result-affecting fidelity
+// options — instruction budgets, LLC size, gate-level routing, and the
+// slice override — with defaults resolved, so an unset field and its
+// explicit default tag identically. Result-invariant options are excluded:
+// Jobs (the golden tests prove -j1 and -j8 are byte-identical), Progress,
+// Ctx, Pool, Spans, Now, Account, Telemetry, and CoherenceCheck (a debug
+// cross-check that fails loudly rather than changing results). The job
+// service folds this into its result-cache key alongside Fingerprint.
+func (o Options) FidelityTag() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("timecache-fidelity/%d:i%d:w%d:l%d:g%t:s%d",
+		FingerprintSchemaVersion, o.InstrsPerProc, o.WarmupInstrs, o.LLCSize, o.GateLevel, o.SliceCycles)
+}
+
+// The encoding is length-delimited so adjacent fields can never alias
+// ([]string{"ab","c"} vs []string{"a","bc"}, or a pair label bleeding into
+// the workload list).
+
+func hashString(h hash.Hash, s string) {
+	fmt.Fprintf(h, "s%d\x00%s", len(s), s)
+}
+
+func hashStrings(h hash.Hash, ss []string) {
+	fmt.Fprintf(h, "l%d\x00", len(ss))
+	for _, s := range ss {
+		hashString(h, s)
+	}
+}
+
+func hashInts(h hash.Hash, xs []int) {
+	fmt.Fprintf(h, "l%d\x00", len(xs))
+	for _, x := range xs {
+		fmt.Fprintf(h, "i%d\x00", x)
+	}
+}
+
+func hashUints(h hash.Hash, xs []uint64) {
+	fmt.Fprintf(h, "l%d\x00", len(xs))
+	for _, x := range xs {
+		fmt.Fprintf(h, "u%d\x00", x)
+	}
+}

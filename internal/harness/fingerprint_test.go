@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"timecache/internal/workload"
+)
+
+// allPairLabels spells out the full Table II pair list explicitly.
+func allPairLabels() []string {
+	return pairLabels(workload.SpecPairs())
+}
+
+// TestFingerprintDefaultEquivalence: a job that leaves a selection empty and
+// one that spells the default out explicitly are the same simulation, and
+// must hash equal.
+func TestFingerprintDefaultEquivalence(t *testing.T) {
+	same := []struct {
+		name string
+		a, b Job
+	}{
+		{"table2 pairs", Job{Experiment: ExpTableII}, Job{Experiment: ExpTableII, Pairs: allPairLabels()}},
+		{"parsec workloads", Job{Experiment: ExpParsec}, Job{Experiment: ExpParsec, Workloads: workload.ParsecNames()}},
+		{"llc-sweep sizes", Job{Experiment: ExpLLCSweep}, Job{Experiment: ExpLLCSweep, LLCSizes: defaultLLCSizes()}},
+		{"ablation pair", Job{Experiment: ExpAblation}, Job{Experiment: ExpAblation, Pairs: []string{defaultAblationPair}}},
+		{"bookkeeping ladder", Job{Experiment: ExpBookkeeping}, Job{Experiment: ExpBookkeeping, SliceCycles: defaultSliceLadder()}},
+		{"security key+seed", Job{Experiment: ExpSecurity}, Job{Experiment: ExpSecurity, KeyBits: defaultKeyBits, Seed: defaultSeed}},
+		// Fields the experiment ignores must not perturb the hash.
+		{"table2 ignores seed", Job{Experiment: ExpTableII}, Job{Experiment: ExpTableII, KeyBits: 128, Seed: 999, SliceCycles: []uint64{1}}},
+	}
+	for _, tc := range same {
+		if got, want := tc.a.Fingerprint(), tc.b.Fingerprint(); got != want {
+			t.Errorf("%s: fingerprints differ\n a=%s\n b=%s", tc.name, got, want)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: every result-affecting field change must move
+// the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Job{Experiment: ExpTableII, Pairs: []string{"2Xlbm", "2Xgobmk"}}
+	variants := map[string]Job{
+		"experiment":      {Experiment: ExpLLCSweep, Pairs: base.Pairs},
+		"pair set":        {Experiment: ExpTableII, Pairs: []string{"2Xlbm"}},
+		"pair order":      {Experiment: ExpTableII, Pairs: []string{"2Xgobmk", "2Xlbm"}},
+		"security seed":   {Experiment: ExpSecurity, Seed: 7},
+		"security bits":   {Experiment: ExpSecurity, KeyBits: 32},
+		"sweep sizes":     {Experiment: ExpLLCSweep, Pairs: base.Pairs, LLCSizes: []int{1 << 20}},
+		"slice ladder":    {Experiment: ExpBookkeeping, SliceCycles: []uint64{50_000}},
+		"parsec selected": {Experiment: ExpParsec, Workloads: []string{"x264"}},
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, j := range variants {
+		fp := j.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variant %q collides with %q: %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	// Adjacent list fields must not alias through concatenation.
+	a := Job{Experiment: ExpTableII, Pairs: []string{"2Xlbm", "2Xgobmk"}}
+	b := Job{Experiment: ExpTableII, Pairs: []string{"2Xlbm2Xgobmk"}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("split vs joined pair labels alias")
+	}
+}
+
+// TestFingerprintStableAcrossProcesses pins a golden fingerprint value: the
+// encoding has no map iteration, pointers, or process-local state, so the
+// hex digest must be identical in every process and on every platform. If
+// this test fails because results legitimately changed (new defaults, new
+// pair list), bump FingerprintSchemaVersion and re-pin.
+func TestFingerprintStableAcrossProcesses(t *testing.T) {
+	const wantTable2Default = "8d75ffe699932d00f3b306adf18bfc8b84b9e4c0b2f2d2d11cd51c01b8a138eb"
+	got := Job{Experiment: ExpTableII}.Fingerprint()
+	if got != wantTable2Default {
+		t.Errorf("Fingerprint({table2}) = %s, want pinned %s (result-affecting change? bump FingerprintSchemaVersion and re-pin)", got, wantTable2Default)
+	}
+	if len(got) != 64 || strings.ToLower(got) != got {
+		t.Errorf("fingerprint %q is not lowercase hex sha256", got)
+	}
+}
+
+// TestCanonicalIdempotent: canonicalizing twice is a fixed point, and the
+// canonical form fingerprints identically to the original.
+func TestCanonicalIdempotent(t *testing.T) {
+	jobs := []Job{
+		{Experiment: ExpTableII},
+		{Experiment: ExpTableII, Pairs: []string{"2Xmilc"}},
+		{Experiment: ExpParsec, Workloads: []string{"x264", "facesim"}},
+		{Experiment: ExpLLCSweep},
+		{Experiment: ExpAblation},
+		{Experiment: ExpBookkeeping, SliceCycles: []uint64{123}},
+		{Experiment: ExpSecurity, KeyBits: 32, Seed: 42},
+	}
+	for _, j := range jobs {
+		c := j.Canonical()
+		cc := c.Canonical()
+		if c.Fingerprint() != cc.Fingerprint() {
+			t.Errorf("Canonical not idempotent for %+v", j)
+		}
+		if j.Fingerprint() != c.Fingerprint() {
+			t.Errorf("Fingerprint(j) != Fingerprint(j.Canonical()) for %+v", j)
+		}
+	}
+}
+
+// FuzzFingerprint drives randomized specs through the canonicalization
+// invariants: determinism, idempotence, canonical/raw agreement, and the
+// soundness direction of the cache key — equal fingerprints imply equal
+// canonical forms (no aliasing across configs; an aliased key would silently
+// serve one config's results for another).
+func FuzzFingerprint(f *testing.F) {
+	f.Add(uint8(0), "2Xlbm", "x264", 0, uint64(0), 0, uint64(0))
+	f.Add(uint8(2), "", "", 1<<20, uint64(200_000), 64, uint64(12345))
+	f.Add(uint8(5), "2Xgobmk", "facesim", 512<<10, uint64(100_000), 32, uint64(7))
+	exps := Experiments()
+	f.Fuzz(func(t *testing.T, expIdx uint8, pair, wl string, llc int, slice uint64, keyBits int, seed uint64) {
+		j := Job{Experiment: exps[int(expIdx)%len(exps)], KeyBits: keyBits, Seed: seed}
+		if pair != "" {
+			j.Pairs = []string{pair}
+		}
+		if wl != "" {
+			j.Workloads = []string{wl}
+		}
+		if llc != 0 {
+			j.LLCSizes = []int{llc}
+		}
+		if slice != 0 {
+			j.SliceCycles = []uint64{slice}
+		}
+		if j.Validate() != nil {
+			t.Skip()
+		}
+		fp := j.Fingerprint()
+		if fp != j.Fingerprint() {
+			t.Fatal("fingerprint not deterministic")
+		}
+		c := j.Canonical()
+		if got := c.Fingerprint(); got != fp {
+			t.Fatalf("canonical fingerprint %s != raw %s", got, fp)
+		}
+		if got := c.Canonical().Fingerprint(); got != fp {
+			t.Fatalf("double-canonical fingerprint %s != raw %s", got, fp)
+		}
+		// A perturbed result-affecting field must move the hash.
+		perturbed := j
+		perturbed.Experiment = exps[(int(expIdx)+1)%len(exps)]
+		if perturbed.Validate() == nil && perturbed.Fingerprint() == fp {
+			t.Fatalf("experiment change did not move fingerprint: %+v", j)
+		}
+	})
+}
+
+// BenchmarkJobFingerprint prices the cache-key computation on the admission
+// path (one hash per POST /v1/jobs; compare against milliseconds of
+// simulation per miss).
+func BenchmarkJobFingerprint(b *testing.B) {
+	j := Job{Experiment: ExpTableII, Pairs: []string{"2Xlbm", "2Xgobmk", "leslie+gobmk"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if j.Fingerprint() == "" {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package resultcache
+
+// lruPolicy is the built-in store's replacement policy: an intrusive
+// doubly-linked recency list plus the capacity bounds that decide when the
+// store must displace. It is deliberately separated from the map bookkeeping
+// in MemoryStore (the modecache store/policy split) so a different policy —
+// segmented LRU, cost-aware (evict cheap-to-recompute results first), TTL —
+// can replace it without touching storage or accounting.
+//
+// The policy is not goroutine-safe; MemoryStore serializes access under its
+// mutex.
+type lruPolicy struct {
+	maxEntries int   // 0 = unbounded
+	maxBytes   int64 // 0 = unbounded
+
+	// head is most recently used, tail least. Intrusive nodes avoid a
+	// second allocation per entry.
+	head, tail *lruNode
+}
+
+// lruNode is one entry's position in the recency list.
+type lruNode struct {
+	key        string
+	entry      *Entry
+	prev, next *lruNode
+}
+
+// overfull reports whether the store must evict at the given footprint.
+func (p *lruPolicy) overfull(entries int, bytes int64) bool {
+	if p.maxEntries > 0 && entries > p.maxEntries {
+		return true
+	}
+	if p.maxBytes > 0 && bytes > p.maxBytes {
+		return true
+	}
+	return false
+}
+
+// push inserts n as most recently used.
+func (p *lruPolicy) push(n *lruNode) {
+	n.prev, n.next = nil, p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+// touch marks n most recently used.
+func (p *lruPolicy) touch(n *lruNode) {
+	if p.head == n {
+		return
+	}
+	p.unlink(n)
+	p.push(n)
+}
+
+// oldest returns the next eviction victim (nil when empty).
+func (p *lruPolicy) oldest() *lruNode { return p.tail }
+
+// remove unlinks n from the recency list.
+func (p *lruPolicy) remove(n *lruNode) { p.unlink(n) }
+
+func (p *lruPolicy) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if p.head == n {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if p.tail == n {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// reset empties the recency list.
+func (p *lruPolicy) reset() { p.head, p.tail = nil, nil }

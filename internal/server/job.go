@@ -2,12 +2,16 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"log/slog"
 	"sync"
 	"time"
 
 	"timecache/internal/harness"
+	"timecache/internal/resultcache"
 	"timecache/internal/stats"
 	"timecache/internal/telemetry"
 )
@@ -51,6 +55,10 @@ type Spec struct {
 	// TimeoutMS bounds the job's run time; the job fails with a deadline
 	// error when exceeded. Zero uses the server's default (if any).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this submission: the job always
+	// simulates, and its result is not stored. Use it to force a fresh run
+	// (e.g. when profiling the simulator itself).
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // harnessJob translates the selection half of the spec.
@@ -68,6 +76,21 @@ func (s Spec) harnessJob() harness.Job {
 		KeyBits:     s.KeyBits,
 		Seed:        s.Seed,
 	}
+}
+
+// cacheKey is the spec's content address in the result cache: a digest over
+// the canonical selection fingerprint (harness.Job.Fingerprint) and the
+// result-affecting fidelity options (harness.Options.FidelityTag), both with
+// defaults resolved — so a spec that spells out a default and one that omits
+// it share an entry. Result-invariant fields are deliberately excluded and
+// cannot split the key space: Jobs (the golden tests prove -j1 and -j8
+// render byte-identical tables), TimeoutMS, and NoCache itself.
+func (s Spec) cacheKey() string {
+	h := sha256.New()
+	io.WriteString(h, s.harnessJob().Fingerprint())
+	io.WriteString(h, "\x00")
+	io.WriteString(h, s.options().FidelityTag())
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // validate rejects malformed specs before they are queued.
@@ -125,18 +148,45 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// Cache dispositions, reported in the X-Timecache-Cache response header and
+// the Status.Cache field of every submission made while the result cache is
+// enabled.
+const (
+	// cacheHit: the result was served from the cache; no simulation ran.
+	cacheHit = "hit"
+	// cacheMiss: this submission led a new simulation for its fingerprint.
+	cacheMiss = "miss"
+	// cacheCoalesced: this submission attached to an identical in-flight
+	// simulation and shares its result.
+	cacheCoalesced = "coalesced"
+	// cacheBypass: the spec set no_cache; the job simulated unconditionally.
+	cacheBypass = "bypass"
+)
+
 // Status is the wire representation of a job's current state, returned by
 // GET /v1/jobs/{id} and embedded in SSE state events.
 type Status struct {
-	ID         string     `json:"id"`
-	State      State      `json:"state"`
-	Experiment string     `json:"experiment"`
-	Error      string     `json:"error,omitempty"`
-	Done       int        `json:"progress_done"`
-	Total      int        `json:"progress_total"`
-	Created    time.Time  `json:"created"`
-	Started    *time.Time `json:"started,omitempty"`
-	Finished   *time.Time `json:"finished,omitempty"`
+	ID         string `json:"id"`
+	State      State  `json:"state"`
+	Experiment string `json:"experiment"`
+	Error      string `json:"error,omitempty"`
+	// Cache is the submission's result-cache disposition ("hit", "miss",
+	// "coalesced", "bypass"); empty when the server runs without a cache.
+	Cache    string     `json:"cache,omitempty"`
+	Done     int        `json:"progress_done"`
+	Total    int        `json:"progress_total"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// cachedMeta is the producer metadata stored alongside each cache entry: the
+// resource account and progress totals of the run that produced it, replayed
+// to every hit and follower so their JSON results match a cold run's.
+type cachedMeta struct {
+	Resources *JobResources `json:"resources"`
+	Done      int           `json:"done"`
+	Total     int           `json:"total"`
 }
 
 // JobResources is the resource-accounting block of a job's JSON result: the
@@ -162,6 +212,17 @@ type job struct {
 	cancel context.CancelCauseFunc
 	trace  *telemetry.SpanRecorder
 	log    *slog.Logger
+
+	// flight is the result-cache singleflight this job participates in:
+	// as leader (cacheDisp == cacheMiss, this job runs the simulation and
+	// publishes the entry) or as follower (cacheDisp == cacheCoalesced,
+	// finalized by waitCoalesced when the leader's flight resolves). Nil
+	// for hits, bypasses, and cache-disabled servers. Written once before
+	// the job is registered, never mutated after.
+	flight *resultcache.Flight
+	// cacheDisp is the submission's cache disposition (see the cache*
+	// constants); written before registration, immutable after.
+	cacheDisp string
 
 	mu        sync.Mutex
 	state     State
@@ -212,6 +273,7 @@ func (j *job) statusLocked() Status {
 		State:      j.state,
 		Experiment: j.spec.Experiment,
 		Error:      j.errMsg,
+		Cache:      j.cacheDisp,
 		Done:       j.done,
 		Total:      j.total,
 		Created:    j.created,

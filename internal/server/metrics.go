@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"timecache/internal/harness"
+	"timecache/internal/resultcache"
 	"timecache/internal/telemetry"
 )
 
@@ -29,6 +30,12 @@ type metrics struct {
 
 	poolHits   atomic.Uint64
 	poolMisses atomic.Uint64
+
+	// cacheBypass counts no_cache submissions. The hit/miss/coalesced/
+	// eviction counters live in the resultcache itself and are folded into
+	// render's snapshot argument; bypasses never reach the cache, so the
+	// server counts them here.
+	cacheBypass atomic.Uint64
 
 	mu           sync.Mutex
 	finished     map[State]int64
@@ -73,8 +80,10 @@ func (m *metrics) addJob(res JobResources) {
 // render produces the Prometheus text format. All mu-guarded state is copied
 // in one lock acquisition up front; quantiles and the rest of the rendering
 // work off that snapshot so a slow scrape never holds the lock that the job
-// finish path takes.
-func (m *metrics) render() string {
+// finish path takes. cs is the result cache's accounting snapshot (the zero
+// value when the server runs without a cache — the families still render, at
+// zero, so dashboards need not special-case disabled caches).
+func (m *metrics) render(cs resultcache.Stats) string {
 	m.mu.Lock()
 	finished := make(map[State]int64, len(m.finished))
 	for st, n := range m.finished {
@@ -102,6 +111,14 @@ func (m *metrics) render() string {
 	gauge("timecache_sse_subscribers", "Open SSE event-stream connections.", m.sseSubscribers.Load())
 	counter("timecache_pool_hits_total", "Machine-pool gets served by a pooled (Reset) machine.", m.poolHits.Load())
 	counter("timecache_pool_misses_total", "Machine-pool gets that assembled a fresh machine.", m.poolMisses.Load())
+
+	counter("timecache_result_cache_hits_total", "Submissions answered from the result cache without simulating.", cs.Hits)
+	counter("timecache_result_cache_misses_total", "Submissions that led a new simulation for their fingerprint.", cs.Misses)
+	counter("timecache_result_cache_coalesced_total", "Submissions coalesced onto an identical in-flight simulation.", cs.Coalesced)
+	counter("timecache_result_cache_evictions_total", "Result-cache entries displaced by the capacity bounds.", cs.Evictions)
+	counter("timecache_result_cache_bypass_total", "Submissions that bypassed the result cache (no_cache).", m.cacheBypass.Load())
+	gauge("timecache_result_cache_entries", "Result-cache entries currently resident.", int64(cs.Entries))
+	gauge("timecache_result_cache_bytes", "Accounted bytes currently resident in the result cache.", cs.Bytes)
 
 	counter("timecache_job_legs_total", "Machine runs (experiment legs) dispatched by finished jobs.", res.Legs)
 	counter("timecache_sim_cycles_total", "Simulated cycles executed by finished jobs.", res.SimCycles)

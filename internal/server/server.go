@@ -2,8 +2,12 @@
 // serves experiment, attack, and sweep jobs over a JSON/HTTP API.
 //
 // Jobs are submitted to POST /v1/jobs as a Spec (experiment name + workload
-// selection + machine overrides, mirroring the CLI flags), admitted into a
-// bounded queue, and executed by a fixed worker pool — one machine.Pool per
+// selection + machine overrides, mirroring the CLI flags), checked against a
+// content-addressed result cache (internal/resultcache: repeat specs are
+// answered without simulating, and concurrent identical specs coalesce onto
+// one run — the X-Timecache-Cache header reports each submission's
+// disposition), admitted into a bounded queue, and executed by a fixed
+// worker pool — one machine.Pool per
 // worker, so hot simulator state is reused across jobs exactly like the
 // batch sweeps reuse it across legs, and results remain byte-identical to
 // the CLIs and the golden artifacts (the dispatch layer in internal/harness
@@ -43,8 +47,14 @@ import (
 	"timecache/internal/clock"
 	"timecache/internal/harness"
 	"timecache/internal/machine"
+	"timecache/internal/resultcache"
 	"timecache/internal/telemetry"
 )
+
+// cacheHeader reports the submission's result-cache disposition ("hit",
+// "miss", "coalesced", "bypass") on every POST /v1/jobs response while the
+// cache is enabled.
+const cacheHeader = "X-Timecache-Cache"
 
 // Config sizes the service.
 type Config struct {
@@ -70,6 +80,14 @@ type Config struct {
 	// transition, admission decision, cancellation, timeout, drain step).
 	// Nil discards.
 	Logger *slog.Logger
+	// Cache, when non-nil, is the content-addressed result cache consulted
+	// before admission: a spec whose canonical fingerprint matches a cached
+	// entry is answered without simulating, and concurrent submissions of
+	// one fingerprint coalesce onto a single in-flight run. Nil disables
+	// caching — every job simulates, no cache headers are emitted, and the
+	// cache endpoints report disabled. The timecache-serve CLI enables it
+	// by default (-cache-entries / -cache-bytes).
+	Cache *resultcache.Cache
 }
 
 func (c Config) queueDepth() int {
@@ -110,6 +128,10 @@ type Server struct {
 	draining  atomic.Bool
 	closeOnce sync.Once
 	workers   sync.WaitGroup
+	// followers tracks waitCoalesced goroutines; Drain waits for them after
+	// the workers, so every coalesced job reaches a terminal state before
+	// Drain returns (leaders resolve their flights as the workers unwind).
+	followers sync.WaitGroup
 
 	metrics *metrics
 	clk     clock.WallClock
@@ -146,6 +168,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handleCachePurge)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -172,6 +196,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
+		s.followers.Wait()
 		close(done)
 	}()
 	select {
@@ -253,6 +278,11 @@ func (s *Server) runJob(j *job, pool *machine.Pool) {
 		j.done, j.total = done, total
 		j.mu.Unlock()
 		j.events.publish("progress", mustJSON(map[string]int{"done": done, "total": total}))
+		if j.flight != nil {
+			// Leader of a result-cache flight: mirror progress to every
+			// coalesced follower's SSE stream.
+			j.flight.Progress(done, total)
+		}
 	}
 
 	ps0 := pool.Stats()
@@ -288,7 +318,26 @@ func (s *Server) runJob(j *job, pool *machine.Pool) {
 		j.errMsg = err.Error()
 	}
 	state, errMsg := j.state, j.errMsg
+	doneN, totalN := j.done, j.total
 	j.mu.Unlock()
+
+	if j.flight != nil {
+		// Resolve the result-cache flight this job leads: publish the fully
+		// rendered result for future hits and current followers, or fail the
+		// followers with an error naming this job.
+		if state == StateDone {
+			s.cfg.Cache.Complete(j.flight, &resultcache.Entry{
+				Key:      j.flight.Key(),
+				CSV:      []byte(tab.CSV()),
+				Markdown: []byte(tab.Markdown()),
+				Table:    tab,
+				Meta:     mustJSON(cachedMeta{Resources: &res, Done: doneN, Total: totalN}),
+			}, nil)
+		} else {
+			s.cfg.Cache.Complete(j.flight, nil,
+				fmt.Errorf("leader job %s %s: %s", j.id, state, errMsg))
+		}
+	}
 
 	// The render stage finalizes the result (resource snapshot, terminal
 	// state). Its span closes the lifecycle, so the five stages tile the
@@ -344,8 +393,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queueDepth.Store(int64(len(s.queue)))
+	var cs resultcache.Stats
+	if s.cfg.Cache != nil {
+		cs = s.cfg.Cache.Stats()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write([]byte(s.metrics.render()))
+	w.Write([]byte(s.metrics.render(cs)))
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -378,6 +431,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j.trace = telemetry.NewSpanRecorder(s.clk.Now)
 	j.log = s.log.With("job", id, "experiment", spec.Experiment)
 	j.trace.Lifecycle("validate", reqStart, s.now(), map[string]any{"experiment": spec.Experiment})
+
+	// Result-cache admission. A hit finalizes the job immediately — the job
+	// still gets its own id, status, SSE history, and result endpoints, but
+	// no queue slot, worker, or deadline timer. A miss makes this job the
+	// leader of a singleflight; concurrent identical submissions become
+	// followers finalized from the leader's flight.
+	if s.cfg.Cache != nil {
+		if spec.NoCache {
+			j.cacheDisp = cacheBypass
+			s.metrics.cacheBypass.Add(1)
+		} else {
+			entry, flight, leader := s.cfg.Cache.Begin(spec.cacheKey())
+			switch {
+			case entry != nil:
+				s.finishFromCache(j, entry, reqStart)
+				w.Header().Set(cacheHeader, cacheHit)
+				writeJSON(w, http.StatusAccepted, j.status())
+				return
+			case leader:
+				flight.SetLeaderTag(id)
+				j.flight = flight
+				j.cacheDisp = cacheMiss
+			default:
+				j.flight = flight
+				j.cacheDisp = cacheCoalesced
+			}
+		}
+	}
+
 	timeout := s.cfg.DefaultTimeout
 	if spec.TimeoutMS > 0 {
 		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
@@ -409,6 +491,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 
+	if j.cacheDisp == cacheCoalesced {
+		// Follower: no queue slot and no worker — the leader's flight
+		// resolves this job. It still has its own deadline timer and
+		// context, and mirrors the leader's progress onto its own SSE
+		// stream. waitCoalesced is the sole finalizer.
+		j.flight.OnProgress(func(done, total int) {
+			j.mu.Lock()
+			if j.state.Terminal() {
+				j.mu.Unlock()
+				return
+			}
+			j.done, j.total = done, total
+			j.mu.Unlock()
+			j.events.publish("progress", mustJSON(map[string]int{"done": done, "total": total}))
+		})
+		s.followers.Add(1)
+		go s.waitCoalesced(j)
+		s.metrics.jobsAccepted.Add(1)
+		j.log.Info("job coalesced onto in-flight simulation", "leader", j.flight.LeaderTag())
+		s.publishState(j)
+		w.Header().Set(cacheHeader, cacheCoalesced)
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+
 	validated := s.now()
 	select {
 	case s.queue <- j:
@@ -428,6 +535,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 		cancel(errors.New("rejected: queue full"))
+		if j.flight != nil {
+			// The leader of a flight never ran; fail its followers now
+			// rather than leaving them waiting on a simulation that will
+			// never start.
+			s.cfg.Cache.Complete(j.flight, nil,
+				fmt.Errorf("leader job %s rejected: queue full", id))
+		}
 		s.metrics.jobsRejected.Add(1)
 		j.log.Warn("job rejected: queue full", "queue_depth", cap(s.queue), "retry_after_s", s.cfg.retryAfter())
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfter()))
@@ -443,7 +557,113 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.metrics.jobsAccepted.Add(1)
 	j.log.Info("job accepted", "queue_len", len(s.queue), "timeout", timeout)
 	s.publishState(j)
+	if j.cacheDisp != "" {
+		w.Header().Set(cacheHeader, j.cacheDisp)
+	}
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// finishFromCache finalizes a submission straight from a cache entry: the
+// job goes directly to done with the cached table, rendered bytes, resource
+// snapshot, and progress totals — byte-identical to a cold run by the
+// simulator's determinism. The only lifecycle stage after validate is a
+// single "cache-hit" span; none of the simulation metrics (legs, sim cycles,
+// pool counters) move, which is the observable proof nothing was simulated.
+func (s *Server) finishFromCache(j *job, e *resultcache.Entry, reqStart time.Time) {
+	var meta cachedMeta
+	if err := json.Unmarshal(e.Meta, &meta); err != nil {
+		j.log.Warn("cache entry metadata unreadable; serving result without resources", "error", err)
+	}
+	now := s.now()
+	j.mu.Lock()
+	j.state = StateDone
+	j.cacheDisp = cacheHit
+	j.table = e.Table
+	j.resources = meta.Resources
+	j.done, j.total = meta.Done, meta.Total
+	j.finished = now
+	j.mu.Unlock()
+	j.trace.Lifecycle("cache-hit", reqStart, now, map[string]any{"key": e.Key})
+
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	s.metrics.jobsAccepted.Add(1)
+	s.metrics.finish(StateDone, j.spec.Experiment, now.Sub(reqStart))
+	j.log.Info("job served from result cache", "key", e.Key)
+	j.events.publish("progress", mustJSON(map[string]int{"done": meta.Done, "total": meta.Total}))
+	s.publishState(j)
+	j.events.close()
+	close(j.doneCh)
+}
+
+// waitCoalesced finalizes a follower job when its leader's flight resolves
+// or its own context ends (deadline, client cancel, drain hard-stop),
+// whichever comes first. It is the follower's sole finalizer — the cancel
+// handler only cancels the context and lets this goroutine observe it — so
+// the terminal transition happens exactly once.
+func (s *Server) waitCoalesced(j *job) {
+	defer s.followers.Done()
+	waitStart := s.now()
+	var entry *resultcache.Entry
+	var flightErr error
+	select {
+	case <-j.flight.Done():
+		entry, flightErr = j.flight.Result()
+	case <-j.ctx.Done():
+		flightErr = context.Cause(j.ctx)
+	}
+
+	now := s.now()
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	var meta cachedMeta
+	switch cause := context.Cause(j.ctx); {
+	case entry != nil && flightErr == nil:
+		if err := json.Unmarshal(entry.Meta, &meta); err != nil {
+			j.log.Warn("cache entry metadata unreadable; serving result without resources", "error", err)
+		}
+		j.state = StateDone
+		j.table = entry.Table
+		j.resources = meta.Resources
+		j.done, j.total = meta.Done, meta.Total
+	case errors.Is(cause, errClientCancel) || errors.Is(cause, errDrainStop):
+		j.state = StateCancelled
+		j.errMsg = cause.Error()
+	case errors.Is(cause, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = cause.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("coalesced onto job %s, which did not complete: %v",
+			j.flight.LeaderTag(), flightErr)
+	}
+	j.finished = now
+	state, errMsg := j.state, j.errMsg
+	j.mu.Unlock()
+
+	j.trace.Lifecycle("coalesced-wait", waitStart, now,
+		map[string]any{"leader": j.flight.LeaderTag(), "key": j.flight.Key()})
+	if state == StateDone {
+		j.events.publish("progress", mustJSON(map[string]int{"done": meta.Done, "total": meta.Total}))
+	}
+	s.publishState(j)
+	j.events.close()
+	// No addJob: this job consumed no simulation resources of its own.
+	s.metrics.finish(state, j.spec.Experiment, now.Sub(waitStart))
+	log := j.log.With("state", state, "leader", j.flight.LeaderTag(), "wait", now.Sub(waitStart))
+	switch state {
+	case StateDone:
+		log.Info("coalesced job finished")
+	default:
+		log.Warn("coalesced job finished", "error", errMsg)
+	}
+	close(j.doneCh)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -488,6 +708,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 		writeJSON(w, http.StatusConflict, st)
 		return
+	case j.state == StateQueued && j.cacheDisp == cacheCoalesced:
+		// Coalesced follower: cancel the context and let waitCoalesced —
+		// the follower's sole finalizer — observe it; finalizing inline
+		// here would race it.
+		j.mu.Unlock()
+		j.cancel(errClientCancel)
+		j.trace.Instant("cancel", s.now(), map[string]any{"while": "coalesced"})
+		j.log.Info("coalesced job cancel requested")
 	case j.state == StateQueued:
 		// Not yet picked up: mark terminal here; the worker skips it.
 		j.state = StateCancelled
@@ -495,6 +723,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.finished = s.now()
 		j.mu.Unlock()
 		j.cancel(errClientCancel)
+		if j.flight != nil {
+			// A flight whose leader never ran: fail the followers now.
+			s.cfg.Cache.Complete(j.flight, nil,
+				fmt.Errorf("leader job %s cancelled while queued", j.id))
+		}
 		j.trace.Instant("cancel", s.now(), map[string]any{"while": "queued"})
 		j.log.Info("job cancelled while queued")
 		s.metrics.finish(StateCancelled, j.spec.Experiment, 0)
@@ -598,6 +831,33 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Write(b)
+}
+
+// handleCacheStats serves the result cache's accounting snapshot. With the
+// cache disabled only {"enabled": false} is returned.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	type response struct {
+		Enabled bool `json:"enabled"`
+		resultcache.Stats
+	}
+	if s.cfg.Cache == nil {
+		writeJSON(w, http.StatusOK, response{Enabled: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, response{Enabled: true, Stats: s.cfg.Cache.Stats()})
+}
+
+// handleCachePurge drops every cached result (in-flight simulations are not
+// interrupted; they re-publish on completion). The operator's recourse after
+// a result-affecting deploy that forgot to bump FingerprintSchemaVersion.
+func (s *Server) handleCachePurge(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cache == nil {
+		writeError(w, http.StatusNotFound, errors.New("result cache disabled"))
+		return
+	}
+	n := s.cfg.Cache.Purge()
+	s.log.Info("result cache purged", "entries", n)
+	writeJSON(w, http.StatusOK, map[string]any{"purged": n})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
