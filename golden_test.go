@@ -145,3 +145,66 @@ func TestGoldenLLCSweepPoint(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenSnapshotForkModes pins the tentpole's correctness claim end to
+// end: the Table-II slice, the LLC-sweep point, and a defense-ablation job
+// render byte-identical CSVs with snapshot forking forced on (every measured
+// leg runs on a fork of its warm snapshot) and forced off (every leg runs
+// cold) — and the forced-on Table-II bytes match the checked-in golden
+// artifact, so the fork path cannot drift from the historical results.
+func TestGoldenSnapshotForkModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	jobsRuns := []harness.Job{
+		{Experiment: harness.ExpTableII, Pairs: []string{"2Xlbm", "2Xgobmk", "leslie+gobmk"}},
+		{Experiment: harness.ExpLLCSweep, Pairs: []string{"2Xnamd", "2Xmilc"}, LLCSizes: []int{1 << 20}},
+		{Experiment: harness.ExpAblation, Pairs: []string{"2Xgobmk"}},
+	}
+	golden := map[string]string{"table2": "table2_slice.csv", "llc-sweep": "llc_sweep.csv"}
+	for _, job := range jobsRuns {
+		off := goldenOpts(1)
+		off.Snapshot = harness.SnapshotOff
+		wantTab, err := harness.RunJob(job, off)
+		if err != nil {
+			t.Fatalf("golden: %s with snapshot off: %v", job.Experiment, err)
+		}
+		on := goldenOpts(1)
+		on.Snapshot = harness.SnapshotOn
+		gotTab, err := harness.RunJob(job, on)
+		if err != nil {
+			t.Fatalf("golden: %s with snapshot on: %v", job.Experiment, err)
+		}
+		if gotTab.CSV() != wantTab.CSV() {
+			t.Errorf("golden: %s differs between snapshot-fork on and off\n--- off ---\n%s--- on ---\n%s",
+				job.Experiment, wantTab.CSV(), gotTab.CSV())
+		}
+		if name, ok := golden[job.Experiment]; ok && !*updateGolden {
+			want, err := os.ReadFile(filepath.Join("results", "golden", name))
+			if err != nil {
+				t.Fatalf("golden: %v (regenerate with -update-golden)", err)
+			}
+			if gotTab.CSV() != string(want) {
+				t.Errorf("golden: %s under snapshot-fork diverged from checked-in artifact\n--- want ---\n%s--- got ---\n%s",
+					job.Experiment, want, gotTab.CSV())
+			}
+		}
+	}
+}
+
+// TestGoldenSnapshotCheck exercises the -snapshot-check debug mode the way
+// CI runs it: every forked leg is re-run cold and any counter divergence is
+// an error, so a pass certifies fork-equals-cold at measurement granularity.
+func TestGoldenSnapshotCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := goldenOpts(2)
+	opts.SnapshotCheck = true
+	if _, err := harness.RunJob(harness.Job{
+		Experiment: harness.ExpTableII,
+		Pairs:      []string{"2Xlbm"},
+	}, opts); err != nil {
+		t.Fatalf("golden: snapshot-check run failed: %v", err)
+	}
+}

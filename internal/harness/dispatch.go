@@ -97,23 +97,24 @@ func (j Job) Validate() error {
 }
 
 // selectPairs resolves pair labels against the Table II list, preserving
-// request order. Empty labels select every pair.
+// request order. Empty labels select every pair. The lookup is a linear scan
+// over the 24-entry list — it sits on the fingerprint/admission path, where
+// a map would cost an allocation per call for no measurable speedup.
 func selectPairs(labels []string) ([]workload.Pair, error) {
 	all := workload.SpecPairs()
 	if len(labels) == 0 {
 		return all, nil
 	}
-	byLabel := make(map[string]workload.Pair, len(all))
-	for _, p := range all {
-		byLabel[p.Label] = p
-	}
 	out := make([]workload.Pair, 0, len(labels))
+lookup:
 	for _, l := range labels {
-		p, ok := byLabel[l]
-		if !ok {
-			return nil, fmt.Errorf("harness: unknown workload pair %q", l)
+		for _, p := range all {
+			if p.Label == l {
+				out = append(out, p)
+				continue lookup
+			}
 		}
-		out = append(out, p)
+		return nil, fmt.Errorf("harness: unknown workload pair %q", l)
 	}
 	return out, nil
 }

@@ -20,7 +20,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"hash"
+	"strconv"
 
 	"timecache/internal/workload"
 )
@@ -115,17 +115,29 @@ func (j Job) Canonical() Job {
 // field change fingerprints different; the value is stable across processes
 // and platforms. Fields an experiment ignores (e.g. Seed on table2) are
 // dropped by Canonical and so cannot perturb the hash.
+// The canonical bytes are appended into one stack-friendly buffer and hashed
+// with sha256.Sum256 in a single call: no hash.Hash state, no Fprintf
+// formatting machinery, no per-field writes. The byte stream is identical to
+// the historical streaming encoding, so fingerprints (and therefore result
+// caches) carry over.
 func (j Job) Fingerprint() string {
 	c := j.Canonical()
-	h := sha256.New()
-	fmt.Fprintf(h, "timecache-job/%d\x00", FingerprintSchemaVersion)
-	hashString(h, c.Experiment)
-	hashStrings(h, c.Pairs)
-	hashStrings(h, c.Workloads)
-	hashInts(h, c.LLCSizes)
-	hashUints(h, c.SliceCycles)
-	fmt.Fprintf(h, "i%d\x00u%d\x00", c.KeyBits, c.Seed)
-	return hex.EncodeToString(h.Sum(nil))
+	buf := make([]byte, 0, 256)
+	buf = append(buf, "timecache-job/"...)
+	buf = strconv.AppendInt(buf, FingerprintSchemaVersion, 10)
+	buf = append(buf, 0)
+	buf = appendString(buf, c.Experiment)
+	buf = appendStrings(buf, c.Pairs)
+	buf = appendStrings(buf, c.Workloads)
+	buf = appendInts(buf, c.LLCSizes)
+	buf = appendUints(buf, c.SliceCycles)
+	buf = append(buf, 'i')
+	buf = strconv.AppendInt(buf, int64(c.KeyBits), 10)
+	buf = append(buf, 0, 'u')
+	buf = strconv.AppendUint(buf, c.Seed, 10)
+	buf = append(buf, 0)
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
 }
 
 // FidelityTag returns a stable encoding of the result-affecting fidelity
@@ -133,9 +145,12 @@ func (j Job) Fingerprint() string {
 // slice override — with defaults resolved, so an unset field and its
 // explicit default tag identically. Result-invariant options are excluded:
 // Jobs (the golden tests prove -j1 and -j8 are byte-identical), Progress,
-// Ctx, Pool, Spans, Now, Account, Telemetry, and CoherenceCheck (a debug
-// cross-check that fails loudly rather than changing results). The job
-// service folds this into its result-cache key alongside Fingerprint.
+// Ctx, Pool, Spans, Now, Account, Telemetry, CoherenceCheck (a debug
+// cross-check that fails loudly rather than changing results), and
+// Snapshot/SnapshotCheck (the golden forced-on/off tests prove snapshot
+// forking is result-invariant, and SnapshotCheck fails loudly like
+// CoherenceCheck). The job service folds this into its result-cache key
+// alongside Fingerprint.
 func (o Options) FidelityTag() string {
 	o = o.withDefaults()
 	return fmt.Sprintf("timecache-fidelity/%d:i%d:w%d:l%d:g%t:s%d",
@@ -146,27 +161,43 @@ func (o Options) FidelityTag() string {
 // ([]string{"ab","c"} vs []string{"a","bc"}, or a pair label bleeding into
 // the workload list).
 
-func hashString(h hash.Hash, s string) {
-	fmt.Fprintf(h, "s%d\x00%s", len(s), s)
+func appendString(buf []byte, s string) []byte {
+	buf = append(buf, 's')
+	buf = strconv.AppendInt(buf, int64(len(s)), 10)
+	buf = append(buf, 0)
+	return append(buf, s...)
 }
 
-func hashStrings(h hash.Hash, ss []string) {
-	fmt.Fprintf(h, "l%d\x00", len(ss))
+func appendStrings(buf []byte, ss []string) []byte {
+	buf = append(buf, 'l')
+	buf = strconv.AppendInt(buf, int64(len(ss)), 10)
+	buf = append(buf, 0)
 	for _, s := range ss {
-		hashString(h, s)
+		buf = appendString(buf, s)
 	}
+	return buf
 }
 
-func hashInts(h hash.Hash, xs []int) {
-	fmt.Fprintf(h, "l%d\x00", len(xs))
+func appendInts(buf []byte, xs []int) []byte {
+	buf = append(buf, 'l')
+	buf = strconv.AppendInt(buf, int64(len(xs)), 10)
+	buf = append(buf, 0)
 	for _, x := range xs {
-		fmt.Fprintf(h, "i%d\x00", x)
+		buf = append(buf, 'i')
+		buf = strconv.AppendInt(buf, int64(x), 10)
+		buf = append(buf, 0)
 	}
+	return buf
 }
 
-func hashUints(h hash.Hash, xs []uint64) {
-	fmt.Fprintf(h, "l%d\x00", len(xs))
+func appendUints(buf []byte, xs []uint64) []byte {
+	buf = append(buf, 'l')
+	buf = strconv.AppendInt(buf, int64(len(xs)), 10)
+	buf = append(buf, 0)
 	for _, x := range xs {
-		fmt.Fprintf(h, "u%d\x00", x)
+		buf = append(buf, 'u')
+		buf = strconv.AppendUint(buf, x, 10)
+		buf = append(buf, 0)
 	}
+	return buf
 }

@@ -77,7 +77,40 @@ type Options struct {
 	// context switches, s-bit delayed loads). Adds are atomic, so one
 	// account serves a parallel sweep. Nil costs the run one comparison.
 	Account *ResourceAccount
+	// Snapshot selects whether legs may reuse warm machine state through
+	// the pool's snapshot shelf (see SnapshotMode). Results are identical
+	// in every mode — the golden forced-on/off tests and SnapshotCheck
+	// enforce it — only the work to produce them changes. The zero value
+	// is SnapshotAuto.
+	Snapshot SnapshotMode
+	// SnapshotCheck cross-runs every snapshot-forked leg from cold and
+	// errors on any counter divergence, in the spirit of CoherenceCheck: a
+	// debug mode that fails loudly instead of changing results. It forces
+	// Snapshot on (except under SnapshotOff) so the fork path is actually
+	// exercised.
+	SnapshotCheck bool
 }
+
+// SnapshotMode controls warm-state snapshot/fork reuse across legs.
+type SnapshotMode int
+
+const (
+	// SnapshotAuto (the default) shelves a snapshot at each leg's warm
+	// point and forks any later leg whose warmup prefix — machine Config,
+	// workload spawn recipe, and instruction budgets — matches a shelved
+	// key. Legs with no match run exactly as before (the snapshot capture
+	// is a pure bystander: the run continues in place). Repeated
+	// same-shape legs — job-service jobs sharing legs, repeated pairs —
+	// skip their warmup entirely.
+	SnapshotAuto SnapshotMode = iota
+	// SnapshotOn additionally measures the first leg of each shape on a
+	// fork of its own warm snapshot (instead of continuing in place), so
+	// every measured leg exercises the fork path. Used by the golden
+	// equality tests and -snapshot-check.
+	SnapshotOn
+	// SnapshotOff disables snapshotting entirely: every leg runs cold.
+	SnapshotOff
+)
 
 // pool builds the runner options for this configuration.
 func (o Options) pool() runner.Options {
@@ -274,58 +307,260 @@ func frameBudget(frames int) int {
 	return (frames + bucket - 1) / bucket * bucket
 }
 
-// runSpecPairOnce runs one Fig. 7 workload (two processes, one core) under
-// the given mode and returns the steady-state measurement. The machine
-// comes from pool (nil builds fresh).
-func runSpecPairOnce(pool *machine.Pool, pair workload.Pair, mode cache.SecMode, opts Options) (measurement, error) {
-	pa, err := workload.Spec(pair.A)
-	if err != nil {
-		return measurement{}, err
+// snapKey identifies a shared warmup prefix on the pool's snapshot shelf.
+// Two legs share warm state exactly when the full machine Config, the
+// workload spawn recipe (kind + profile names + seeds are fixed per kind),
+// and the instruction budgets all match — mode, LLC size, slice length,
+// partitioning, and flush policy are all part of machine.Config, so
+// distinct sweep legs can never alias.
+type snapKey struct {
+	cfg    machine.Config
+	kind   string // "spec" (two processes, one core) or "parsec" (2 threads, 2 cores)
+	a, b   string
+	warmup uint64
+	total  uint64
+}
+
+// leg describes one machine run: how to build its machine, how to populate
+// it, and how to label its outputs. runLeg executes it cold, from a
+// snapshot fork, or cold-with-capture depending on Options.Snapshot.
+type leg struct {
+	label string         // span name and error-message subject, e.g. "2Xlbm/timecache"
+	mcfg  machine.Config // machine shape (includes mode and overrides)
+	key   snapKey        // warmup-prefix identity on the snapshot shelf
+	// attach, when non-nil, attaches telemetry to the kernel (cold path
+	// only; telemetry disables snapshotting).
+	attach func(*kernel.Kernel) *telemetry.Collector
+	// spawn installs the leg's processes with their warmup set and OnWarm
+	// wired to onWarm, returning how many processes must warm before the
+	// measurement window starts.
+	spawn func(k *kernel.Kernel, onWarm func()) (int, error)
+}
+
+// runLeg runs one leg and returns its steady-state measurement, routing
+// through the snapshot shelf per opts.Snapshot. Telemetry runs always take
+// the cold path: a collector observes the whole run, warmup included, so a
+// forked run would change its outputs.
+func runLeg(pool *machine.Pool, opts Options, l leg) (measurement, error) {
+	mode := opts.Snapshot
+	if opts.SnapshotCheck && mode != SnapshotOff {
+		mode = SnapshotOn
 	}
-	pb, err := workload.Spec(pair.B)
-	if err != nil {
-		return measurement{}, err
+	if opts.Telemetry != nil {
+		mode = SnapshotOff
 	}
-	frames := workload.FramesNeeded(pa) + workload.FramesNeeded(pb) + 1024
+	if mode == SnapshotOff {
+		return runLegCold(pool, opts, l)
+	}
+	if s := pool.Snapshot(l.key); s != nil {
+		return runLegFork(pool, opts, l, s)
+	}
+	return runLegCapture(pool, opts, l, mode)
+}
+
+// runLegCold is the pre-snapshot behavior: pooled machine, full run, warm
+// subtraction.
+func runLegCold(pool *machine.Pool, opts Options, l leg) (measurement, error) {
 	legStart := opts.legStart()
-	m := pool.Get(machineConfig(mode, 1, opts, frames))
+	m := pool.Get(l.mcfg)
 	defer pool.Put(m)
 	k := m.Kernel()
-	total := opts.WarmupInstrs + opts.InstrsPerProc
-	_, procA, err := workload.Spawn(k, pa, workload.SpawnOptions{Instrs: total, Seed: 1001})
-	if err != nil {
-		return measurement{}, err
-	}
-	_, procB, err := workload.Spawn(k, pb, workload.SpawnOptions{Instrs: total, Seed: 2002})
-	if err != nil {
-		return measurement{}, err
-	}
 	var warm measurement
-	warmed := 0
+	warmed, targets := 0, -1
 	onWarm := func() {
 		warmed++
-		if warmed == 2 {
+		if warmed == targets {
 			warm = snapCounters(k)
 		}
 	}
-	procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
-	procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
-	col := opts.attachTelemetry(k, pair.Label, mode)
+	n, err := l.spawn(k, onWarm)
+	if err != nil {
+		return measurement{}, err
+	}
+	targets = n
+	var col *telemetry.Collector
+	if l.attach != nil {
+		col = l.attach(k)
+	}
 	k.RunCtx(opts.ctx(), 1<<62)
 	if err := opts.ctx().Err(); err != nil {
 		return measurement{}, err
 	}
 	if !k.AllExited() {
-		return measurement{}, fmt.Errorf("harness: %s did not finish", pair.Label)
+		return measurement{}, fmt.Errorf("harness: %s did not finish", l.label)
 	}
-	if warmed != 2 {
-		return measurement{}, fmt.Errorf("harness: %s never reached steady state", pair.Label)
+	if warmed != targets {
+		return measurement{}, fmt.Errorf("harness: %s never reached steady state", l.label)
 	}
 	if err := finishTelemetry(col); err != nil {
 		return measurement{}, err
 	}
-	opts.finishLeg(pair.Label+"/"+mode.String(), legStart, k)
+	opts.finishLeg(l.label, legStart, k)
 	return snapCounters(k).sub(warm), nil
+}
+
+// runLegCapture is the shelf-miss path: run from cold, pause at the warm
+// point (Interrupt stops Run between scheduler steps within a poll stride),
+// shelve a snapshot for later same-key legs, then either resume in place
+// (SnapshotAuto — the pause and capture are invisible to the simulation) or
+// measure on a fork of the snapshot just taken (SnapshotOn).
+func runLegCapture(pool *machine.Pool, opts Options, l leg, mode SnapshotMode) (measurement, error) {
+	legStart := opts.legStart()
+	m := pool.Get(l.mcfg)
+	defer pool.Put(m)
+	k := m.Kernel()
+	var warm measurement
+	warmed, targets := 0, -1
+	onWarm := func() {
+		warmed++
+		if warmed == targets {
+			warm = snapCounters(k)
+			k.Interrupt()
+		}
+	}
+	n, err := l.spawn(k, onWarm)
+	if err != nil {
+		return measurement{}, err
+	}
+	targets = n
+	k.RunCtx(opts.ctx(), 1<<62)
+	if err := opts.ctx().Err(); err != nil {
+		return measurement{}, err
+	}
+	var snap *machine.Snapshot
+	if warmed == targets && !k.AllExited() {
+		// A process that cannot be snapshotted (no sim.Forker) just skips
+		// the shelf; the leg still measures normally.
+		if s, err := m.Snapshot(); err == nil {
+			s.Tag = warm
+			pool.PutSnapshot(l.key, s)
+			snap = s
+		}
+	}
+	k.ClearInterrupt()
+	if mode == SnapshotOn && snap != nil {
+		// The warm machine goes back to the pool mid-run (the deferred
+		// Put; forking resets nothing it does not overwrite) and the
+		// measurement happens on a fork, exercising the exact path a
+		// shelf hit takes.
+		return runLegFork(pool, opts, l, snap)
+	}
+	k.RunCtx(opts.ctx(), 1<<62)
+	if err := opts.ctx().Err(); err != nil {
+		return measurement{}, err
+	}
+	if !k.AllExited() {
+		return measurement{}, fmt.Errorf("harness: %s did not finish", l.label)
+	}
+	if warmed != targets {
+		return measurement{}, fmt.Errorf("harness: %s never reached steady state", l.label)
+	}
+	opts.finishLeg(l.label, legStart, k)
+	return snapCounters(k).sub(warm), nil
+}
+
+// runLegFork is the shelf-hit path: fork the snapshot into a pooled machine
+// and run only the measured remainder. Under SnapshotCheck the same leg is
+// re-run cold and the two measurements must agree exactly.
+func runLegFork(pool *machine.Pool, opts Options, l leg, s *machine.Snapshot) (measurement, error) {
+	warm, ok := s.Tag.(measurement)
+	if !ok {
+		return measurement{}, fmt.Errorf("harness: snapshot for %s carries no warm measurement", l.label)
+	}
+	legStart := opts.legStart()
+	m := pool.Fork(s)
+	defer pool.Put(m)
+	k := m.Kernel()
+	k.RunCtx(opts.ctx(), 1<<62)
+	if err := opts.ctx().Err(); err != nil {
+		return measurement{}, err
+	}
+	if !k.AllExited() {
+		return measurement{}, fmt.Errorf("harness: %s did not finish", l.label)
+	}
+	opts.finishLeg(l.label, legStart, k)
+	got := snapCounters(k).sub(warm)
+	if opts.SnapshotCheck {
+		cold := opts
+		cold.Snapshot = SnapshotOff
+		cold.SnapshotCheck = false
+		cold.Telemetry = nil
+		cold.Spans = nil
+		cold.Account = nil
+		ref, err := runLegCold(pool, cold, l)
+		if err != nil {
+			return measurement{}, fmt.Errorf("harness: snapshot-check cold rerun of %s: %w", l.label, err)
+		}
+		if ref != got {
+			return measurement{}, fmt.Errorf("harness: snapshot-check divergence on %s: forked %+v != cold %+v", l.label, got, ref)
+		}
+	}
+	return got, nil
+}
+
+// specLeg builds the leg for one Fig. 7 workload (two processes, one core)
+// under the given mode. labelSuffix names the leg's span/error label
+// ("<pair>/<suffix>"); it is the mode name for the paired runs and the
+// defense name for ablation legs.
+func specLeg(pair workload.Pair, mcfg machine.Config, labelSuffix string, opts Options,
+	attach func(*kernel.Kernel) *telemetry.Collector) (leg, error) {
+	pa, err := workload.Spec(pair.A)
+	if err != nil {
+		return leg{}, err
+	}
+	pb, err := workload.Spec(pair.B)
+	if err != nil {
+		return leg{}, err
+	}
+	total := opts.WarmupInstrs + opts.InstrsPerProc
+	return leg{
+		label:  pair.Label + "/" + labelSuffix,
+		mcfg:   mcfg,
+		key:    snapKey{cfg: mcfg, kind: "spec", a: pair.A, b: pair.B, warmup: opts.WarmupInstrs, total: total},
+		attach: attach,
+		spawn: func(k *kernel.Kernel, onWarm func()) (int, error) {
+			_, procA, err := workload.Spawn(k, pa, workload.SpawnOptions{Instrs: total, Seed: 1001})
+			if err != nil {
+				return 0, err
+			}
+			_, procB, err := workload.Spawn(k, pb, workload.SpawnOptions{Instrs: total, Seed: 2002})
+			if err != nil {
+				return 0, err
+			}
+			procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
+			procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
+			return 2, nil
+		},
+	}, nil
+}
+
+// specFrames is the frame budget for a two-process spec pair.
+func specFrames(pair workload.Pair) (int, error) {
+	pa, err := workload.Spec(pair.A)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := workload.Spec(pair.B)
+	if err != nil {
+		return 0, err
+	}
+	return workload.FramesNeeded(pa) + workload.FramesNeeded(pb) + 1024, nil
+}
+
+// runSpecPairOnce runs one Fig. 7 workload (two processes, one core) under
+// the given mode and returns the steady-state measurement. The machine
+// comes from pool (nil builds fresh).
+func runSpecPairOnce(pool *machine.Pool, pair workload.Pair, mode cache.SecMode, opts Options) (measurement, error) {
+	frames, err := specFrames(pair)
+	if err != nil {
+		return measurement{}, err
+	}
+	l, err := specLeg(pair, machineConfig(mode, 1, opts, frames), mode.String(), opts,
+		func(k *kernel.Kernel) *telemetry.Collector { return opts.attachTelemetry(k, pair.Label, mode) })
+	if err != nil {
+		return measurement{}, err
+	}
+	return runLeg(pool, opts, l)
 }
 
 func totalInstructions(k *kernel.Kernel) uint64 {
@@ -369,9 +604,10 @@ func result(label string, mb, mt measurement) PairResult {
 }
 
 // RunSpecPair measures one Fig. 7 / Table II row: the same pair under the
-// baseline and under TimeCache.
+// baseline and under TimeCache. Machines come from Options.Pool when set
+// (which also enables warm-snapshot reuse across repeated calls).
 func RunSpecPair(pair workload.Pair, opts Options) (PairResult, error) {
-	return runSpecPair(nil, pair, opts)
+	return runSpecPair(opts.Pool, pair, opts)
 }
 
 // runSpecPair is RunSpecPair drawing machines from pool.
@@ -414,51 +650,37 @@ func runParsecOnce(pool *machine.Pool, name string, mode cache.SecMode, opts Opt
 		return measurement{}, err
 	}
 	frames := workload.FramesNeeded(prof) + 1024
-	legStart := opts.legStart()
-	m := pool.Get(machineConfig(mode, 2, opts, frames))
-	defer pool.Put(m)
-	k := m.Kernel()
-	as, err := workload.BuildSharedAS(k, prof)
-	if err != nil {
-		return measurement{}, err
-	}
-	var warm measurement
-	warmed := 0
-	onWarm := func() {
-		warmed++
-		if warmed == 2 {
-			warm = snapCounters(k)
-		}
-	}
+	mcfg := machineConfig(mode, 2, opts, frames)
 	total := opts.WarmupInstrs + opts.InstrsPerProc
-	for t := 0; t < 2; t++ {
-		proc := workload.NewProc(prof, total, uint64(3000+t*17))
-		proc.Warmup, proc.OnWarm = opts.WarmupInstrs, onWarm
-		if _, err := k.Spawn(fmt.Sprintf("%s.t%d", name, t), proc, as.Share(), t); err != nil {
-			return measurement{}, err
-		}
+	l := leg{
+		label: name + "/" + mode.String(),
+		mcfg:  mcfg,
+		key:   snapKey{cfg: mcfg, kind: "parsec", a: name, warmup: opts.WarmupInstrs, total: total},
+		attach: func(k *kernel.Kernel) *telemetry.Collector {
+			return opts.attachTelemetry(k, name, mode)
+		},
+		spawn: func(k *kernel.Kernel, onWarm func()) (int, error) {
+			as, err := workload.BuildSharedAS(k, prof)
+			if err != nil {
+				return 0, err
+			}
+			for t := 0; t < 2; t++ {
+				proc := workload.NewProc(prof, total, uint64(3000+t*17))
+				proc.Warmup, proc.OnWarm = opts.WarmupInstrs, onWarm
+				if _, err := k.Spawn(fmt.Sprintf("%s.t%d", name, t), proc, as.Share(), t); err != nil {
+					return 0, err
+				}
+			}
+			return 2, nil
+		},
 	}
-	col := opts.attachTelemetry(k, name, mode)
-	k.RunCtx(opts.ctx(), 1<<62)
-	if err := opts.ctx().Err(); err != nil {
-		return measurement{}, err
-	}
-	if !k.AllExited() {
-		return measurement{}, fmt.Errorf("harness: parsec %s did not finish", name)
-	}
-	if warmed != 2 {
-		return measurement{}, fmt.Errorf("harness: parsec %s never reached steady state", name)
-	}
-	if err := finishTelemetry(col); err != nil {
-		return measurement{}, err
-	}
-	opts.finishLeg(name+"/"+mode.String(), legStart, k)
-	return snapCounters(k).sub(warm), nil
+	return runLeg(pool, opts, l)
 }
 
-// RunParsec measures one Fig. 9 row.
+// RunParsec measures one Fig. 9 row. Machines come from Options.Pool when
+// set (which also enables warm-snapshot reuse across repeated calls).
 func RunParsec(name string, opts Options) (PairResult, error) {
-	return runParsec(nil, name, opts)
+	return runParsec(opts.Pool, name, opts)
 }
 
 // runParsec is RunParsec drawing machines from pool.
@@ -566,38 +788,15 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 		mcfg := machineConfig(cfgDef.mode, 1, opts, frames)
 		mcfg.Partitioned = cfgDef.partitioned
 		mcfg.FlushOnSwitch = cfgDef.flushOnSwitch
-		legStart := opts.legStart()
-		m := pool.Get(mcfg)
-		defer pool.Put(m)
-		k := m.Kernel()
-		var warm measurement
-		warmed := 0
-		onWarm := func() {
-			warmed++
-			if warmed == 2 {
-				warm = snapCounters(k)
-			}
-		}
-		total := opts.WarmupInstrs + opts.InstrsPerProc
-		_, procA, err := workload.Spawn(k, pa, workload.SpawnOptions{Instrs: total, Seed: 1001})
+		l, err := specLeg(pair, mcfg, cfgDef.name, opts, nil)
 		if err != nil {
 			return 0, err
 		}
-		_, procB, err := workload.Spawn(k, pb, workload.SpawnOptions{Instrs: total, Seed: 2002})
+		m, err := runLeg(pool, opts, l)
 		if err != nil {
 			return 0, err
 		}
-		procA.Warmup, procA.OnWarm = opts.WarmupInstrs, onWarm
-		procB.Warmup, procB.OnWarm = opts.WarmupInstrs, onWarm
-		k.RunCtx(opts.ctx(), 1<<62)
-		if err := opts.ctx().Err(); err != nil {
-			return 0, err
-		}
-		if !k.AllExited() || warmed != 2 {
-			return 0, fmt.Errorf("harness: ablation %s/%s did not finish", pair.Label, cfgDef.name)
-		}
-		opts.finishLeg(pair.Label+"/"+cfgDef.name, legStart, k)
-		return snapCounters(k).sub(warm).cycles, nil
+		return m.cycles, nil
 	})
 	if err != nil {
 		return nil, err

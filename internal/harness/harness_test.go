@@ -3,6 +3,8 @@ package harness
 import (
 	"testing"
 
+	"timecache/internal/machine"
+	"timecache/internal/telemetry"
 	"timecache/internal/workload"
 )
 
@@ -164,5 +166,85 @@ func TestGateLevelMatchesFastPath(t *testing.T) {
 	}
 	if fast.MPKITC != gate.MPKITC {
 		t.Fatalf("gate-level MPKI diverged: %v vs %v", fast.MPKITC, gate.MPKITC)
+	}
+}
+
+// TestSnapshotShelfReuse pins the SnapshotAuto win: two identical legs on
+// one shared pool produce identical results, and the second is served from
+// the snapshot shelf (one shelf hit) instead of re-running its warmup.
+func TestSnapshotShelfReuse(t *testing.T) {
+	pair := workload.Pair{Label: "2Xnamd", A: "namd", B: "namd"}
+	pool := machine.NewPool()
+	opts := smallOpts()
+	opts.Pool = pool
+
+	first, err := RunSpecPair(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	if s.SnapshotHits != 0 {
+		t.Fatalf("first run already hit the shelf: %+v", s)
+	}
+	second, err := RunSpecPair(pair, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("shelf-forked rerun diverged:\n first %+v\nsecond %+v", first, second)
+	}
+	s = pool.Stats()
+	// The second run's two legs (baseline, timecache) both fork.
+	if s.SnapshotHits != 2 {
+		t.Fatalf("snapshot hits = %d, want 2 (both modes forked)", s.SnapshotHits)
+	}
+}
+
+// TestSnapshotModesAgree runs one pair under every snapshot mode and with
+// the cold cross-check enabled: all four results must be identical.
+func TestSnapshotModesAgree(t *testing.T) {
+	pair := workload.Pair{Label: "2Xlbm", A: "lbm", B: "lbm"}
+	base := smallOpts()
+
+	var results []PairResult
+	for _, mode := range []SnapshotMode{SnapshotOff, SnapshotAuto, SnapshotOn} {
+		opts := base
+		opts.Snapshot = mode
+		r, err := RunSpecPair(pair, opts)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		results = append(results, r)
+	}
+	check := base
+	check.SnapshotCheck = true
+	r, err := RunSpecPair(pair, check)
+	if err != nil {
+		t.Fatalf("snapshot-check: %v", err)
+	}
+	results = append(results, r)
+	for i, got := range results[1:] {
+		if got != results[0] {
+			t.Fatalf("result %d diverged from SnapshotOff:\n got %+v\nwant %+v", i+1, got, results[0])
+		}
+	}
+}
+
+// TestSnapshotTelemetryForcesCold: a telemetry collector observes the whole
+// run including warmup, so telemetry legs must never fork (no shelf
+// activity) even under SnapshotOn.
+func TestSnapshotTelemetryForcesCold(t *testing.T) {
+	pair := workload.Pair{Label: "2Xnamd", A: "namd", B: "namd"}
+	pool := machine.NewPool()
+	opts := smallOpts()
+	opts.Pool = pool
+	opts.Snapshot = SnapshotOn
+	opts.Telemetry = &telemetry.Config{}
+
+	if _, err := RunSpecPair(pair, opts); err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.SnapshotHits != 0 || s.SnapshotMisses != 0 {
+		t.Fatalf("telemetry run touched the snapshot shelf: %+v", s)
 	}
 }

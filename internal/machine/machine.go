@@ -197,30 +197,70 @@ func (m *Machine) AttachTelemetry(cfg telemetry.Config) *telemetry.Collector {
 type Pool struct {
 	mu       sync.Mutex
 	machines map[Config][]*Machine
+	idleCap  int
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// snaps shelves warm-state snapshots keyed by the caller's key (the
+	// harness keys on machine config + workload recipe), with FIFO
+	// eviction once snapCap keys are resident.
+	snaps     map[any]*Snapshot
+	snapOrder []any
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	snapHits   atomic.Uint64
+	snapMisses atomic.Uint64
 }
+
+// DefaultIdleCap bounds each config's idle list. Sweeps check at most one
+// machine per worker in and out per shape, so a small cap holds the working
+// set while shifting sweep shapes (an LLC ladder retires one config per
+// step) stop accumulating dead machines.
+const DefaultIdleCap = 8
+
+// defaultSnapCap bounds the snapshot shelf (distinct keys). Each snapshot
+// pins a frozen machine, so the shelf must not grow with sweep length.
+const defaultSnapCap = 16
 
 // PoolStats counts how Gets were served: a hit reuses a pooled machine
-// (Reset, ~23µs), a miss assembles a fresh one (~141µs). The job service
-// reports the delta per job and the totals on /metrics.
+// (Reset, ~23µs), a miss assembles a fresh one (~141µs). Evictions counts
+// idle machines dropped because their config's shelf was at IdleCap.
+// SnapshotHits/SnapshotMisses count snapshot-shelf lookups. The job service
+// reports the Get delta per job and the totals on /metrics.
 type PoolStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Evictions      uint64 `json:"evictions"`
+	IdleCap        int    `json:"idle_cap"`
+	SnapshotHits   uint64 `json:"snapshot_hits"`
+	SnapshotMisses uint64 `json:"snapshot_misses"`
 }
 
-// Stats returns the pool's cumulative hit/miss counts (zero for a nil pool,
-// whose Gets always build fresh).
+// Stats returns the pool's cumulative counters (zero for a nil pool, whose
+// Gets always build fresh).
 func (p *Pool) Stats() PoolStats {
 	if p == nil {
 		return PoolStats{}
 	}
-	return PoolStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+	return PoolStats{
+		Hits:           p.hits.Load(),
+		Misses:         p.misses.Load(),
+		Evictions:      p.evictions.Load(),
+		IdleCap:        p.idleCap,
+		SnapshotHits:   p.snapHits.Load(),
+		SnapshotMisses: p.snapMisses.Load(),
+	}
 }
 
-// NewPool returns an empty pool.
-func NewPool() *Pool { return &Pool{machines: map[Config][]*Machine{}} }
+// NewPool returns an empty pool with the default idle bound.
+func NewPool() *Pool {
+	return &Pool{
+		machines: map[Config][]*Machine{},
+		idleCap:  DefaultIdleCap,
+		snaps:    map[any]*Snapshot{},
+	}
+}
 
 // Get returns a machine assembled from cfg: a pooled one (after Reset) when
 // available, a fresh one otherwise. The caller owns the machine exclusively
@@ -246,12 +286,19 @@ func (p *Pool) Get(cfg Config) *Machine {
 
 // Put returns a machine to the pool for a later Get with the same Config.
 // The machine may be dirty — Get Resets before reuse — but must no longer be
-// running. Put on a nil pool discards the machine.
+// running. A Put that would push a config's idle list past IdleCap drops the
+// machine instead (counted in Stats().Evictions). Put on a nil pool
+// discards the machine.
 func (p *Pool) Put(m *Machine) {
 	if p == nil || m == nil {
 		return
 	}
 	p.mu.Lock()
+	if len(p.machines[m.cfg]) >= p.idleCap {
+		p.mu.Unlock()
+		p.evictions.Add(1)
+		return
+	}
 	p.machines[m.cfg] = append(p.machines[m.cfg], m)
 	p.mu.Unlock()
 }

@@ -278,12 +278,12 @@ func TestPoolStats(t *testing.T) {
 	a := Config{Mode: cache.SecTimeCache, PhysFrames: 8192}
 	b := Config{Mode: cache.SecOff, PhysFrames: 8192}
 
-	if s := p.Stats(); s != (PoolStats{}) {
-		t.Fatalf("fresh pool stats = %+v, want zeros", s)
+	if s := p.Stats(); s != (PoolStats{IdleCap: DefaultIdleCap}) {
+		t.Fatalf("fresh pool stats = %+v, want zero counters", s)
 	}
 	m1 := p.Get(a) // miss: pool empty
 	p.Get(a)       // miss: m1 checked out
-	if s := p.Stats(); s != (PoolStats{Misses: 2}) {
+	if s := p.Stats(); s != (PoolStats{Misses: 2, IdleCap: DefaultIdleCap}) {
 		t.Fatalf("after two cold Gets stats = %+v, want 2 misses", s)
 	}
 	p.Put(m1)
@@ -291,7 +291,7 @@ func TestPoolStats(t *testing.T) {
 		t.Fatal("pool did not reuse the returned machine")
 	}
 	p.Get(b) // miss: different config shelf is empty
-	if s := p.Stats(); s != (PoolStats{Hits: 1, Misses: 3}) {
+	if s := p.Stats(); s != (PoolStats{Hits: 1, Misses: 3, IdleCap: DefaultIdleCap}) {
 		t.Fatalf("stats = %+v, want 1 hit / 3 misses", s)
 	}
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package machine
+
+// raceEnabled gates allocation-count assertions: testing.AllocsPerRun is
+// unreliable under the race detector, which instruments allocations.
+const raceEnabled = true

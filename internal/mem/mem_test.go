@@ -144,3 +144,153 @@ func TestAllocatedCount(t *testing.T) {
 		t.Fatalf("allocated = %d, want 4", p.Allocated())
 	}
 }
+
+// TestSealCopyFromIsolation pins the host-level COW contract: after Seal +
+// CopyFrom the two memories alias the same frame buffers, and the first
+// store on either side copies its frame privately — writes are never
+// visible across the aliasing, in either direction.
+func TestSealCopyFromIsolation(t *testing.T) {
+	src := NewPhysical(8, 200)
+	var fs []Frame
+	for i := 0; i < 4; i++ {
+		f, _ := src.Alloc()
+		src.WriteU64(f.Addr(), uint64(0xA0+i))
+		fs = append(fs, f)
+	}
+	src.Seal()
+	dst := NewPhysical(8, 200)
+	dst.CopyFrom(src)
+
+	if dst.Allocated() != src.Allocated() {
+		t.Fatalf("dst allocated = %d, want %d", dst.Allocated(), src.Allocated())
+	}
+	for i, f := range fs {
+		if got := dst.ReadU64(f.Addr()); got != uint64(0xA0+i) {
+			t.Fatalf("dst frame %d reads %#x, want %#x", f, got, 0xA0+i)
+		}
+	}
+
+	// A write in the fork must not reach the source...
+	dst.WriteU64(fs[0].Addr(), 0xDEAD)
+	if got := src.ReadU64(fs[0].Addr()); got != 0xA0 {
+		t.Fatalf("fork write leaked into source: src reads %#x", got)
+	}
+	// ...and a write in the (sealed, still running) source must not reach
+	// the fork.
+	src.StoreByte(fs[1].Addr(), 0xFF)
+	if got := dst.ReadU64(fs[1].Addr()); got != 0xA1 {
+		t.Fatalf("source write leaked into fork: dst reads %#x", got)
+	}
+	// Untouched frames still agree.
+	if src.ReadU64(fs[2].Addr()) != dst.ReadU64(fs[2].Addr()) {
+		t.Fatal("untouched frame diverged")
+	}
+}
+
+// TestCopyFromSiblingIsolation: two forks of one sealed source are isolated
+// from each other, not just from the source.
+func TestCopyFromSiblingIsolation(t *testing.T) {
+	src := NewPhysical(4, 200)
+	f, _ := src.Alloc()
+	src.WriteU64(f.Addr(), 42)
+	src.Seal()
+
+	a := NewPhysical(4, 200)
+	a.CopyFrom(src)
+	b := NewPhysical(4, 200)
+	b.CopyFrom(src)
+
+	a.WriteU64(f.Addr(), 1)
+	b.WriteU64(f.Addr(), 2)
+	if got := a.ReadU64(f.Addr()); got != 1 {
+		t.Fatalf("fork a reads %d, want 1", got)
+	}
+	if got := b.ReadU64(f.Addr()); got != 2 {
+		t.Fatalf("fork b reads %d, want 2", got)
+	}
+	if got := src.ReadU64(f.Addr()); got != 42 {
+		t.Fatalf("source reads %d, want 42", got)
+	}
+}
+
+// TestAllocReuseOfSharedFrame: a freed frame whose buffer is aliased by a
+// snapshot must come back from Alloc with a fresh zeroed buffer — zeroing in
+// place would corrupt the snapshot's view.
+func TestAllocReuseOfSharedFrame(t *testing.T) {
+	src := NewPhysical(1, 200)
+	f, _ := src.Alloc()
+	src.WriteU64(f.Addr(), 7)
+	src.Seal()
+	snap := NewPhysical(1, 200)
+	snap.CopyFrom(src)
+
+	src.Unref(f) // frees the frame; its buffer is still aliased by snap
+	g, err := src.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != f {
+		t.Fatalf("free-list reuse returned frame %d, want %d", g, f)
+	}
+	for i, b := range src.Page(g) {
+		if b != 0 {
+			t.Fatalf("reused frame byte %d = %d, want 0", i, b)
+		}
+	}
+	if got := snap.ReadU64(f.Addr()); got != 7 {
+		t.Fatalf("snapshot view corrupted by frame reuse: reads %d, want 7", got)
+	}
+}
+
+// TestCopyFromRewindsGrowth: restoring a small snapshot into a memory that
+// had grown past it must truncate the frame table so allocation order
+// replays identically.
+func TestCopyFromRewindsGrowth(t *testing.T) {
+	src := NewPhysical(8, 200)
+	a, _ := src.Alloc()
+	src.WriteU64(a.Addr(), 11)
+	src.Seal()
+
+	dst := NewPhysical(8, 200)
+	for i := 0; i < 5; i++ {
+		dst.Alloc()
+	}
+	dst.CopyFrom(src)
+	if dst.Allocated() != 1 {
+		t.Fatalf("dst allocated = %d, want 1", dst.Allocated())
+	}
+	b, _ := dst.Alloc()
+	c, _ := src.Alloc()
+	if b != c {
+		t.Fatalf("post-restore alloc order diverged: dst got %d, src got %d", b, c)
+	}
+}
+
+// TestAllocatedO1AcrossResetAndUnref: the live-frame counter must track
+// Alloc/Unref/Reset exactly (it replaced an O(frames) scan).
+func TestAllocatedO1AcrossResetAndUnref(t *testing.T) {
+	p := NewPhysical(16, 200)
+	var fs []Frame
+	for i := 0; i < 10; i++ {
+		f, _ := p.Alloc()
+		fs = append(fs, f)
+	}
+	p.Ref(fs[0]) // second ref must not change the live count on first Unref
+	p.Unref(fs[0])
+	if p.Allocated() != 10 {
+		t.Fatalf("allocated = %d, want 10 (frame still referenced)", p.Allocated())
+	}
+	p.Unref(fs[0])
+	p.Unref(fs[1])
+	if p.Allocated() != 8 {
+		t.Fatalf("allocated = %d, want 8", p.Allocated())
+	}
+	p.Reset()
+	if p.Allocated() != 0 {
+		t.Fatalf("allocated after Reset = %d, want 0", p.Allocated())
+	}
+	f, _ := p.Alloc()
+	if p.Allocated() != 1 || f != 0 {
+		t.Fatalf("first post-Reset alloc: frame %d, allocated %d", f, p.Allocated())
+	}
+}

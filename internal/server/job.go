@@ -198,6 +198,12 @@ type JobResources struct {
 	harness.Resources
 	PoolHits   uint64 `json:"pool_hits"`
 	PoolMisses uint64 `json:"pool_misses"`
+	// PoolEvictions counts idle machines the worker pool dropped at its
+	// per-config cap while this job ran; SnapshotHits/SnapshotMisses count
+	// how the pool's warm-snapshot shelf served the job's legs.
+	PoolEvictions  uint64 `json:"pool_evictions"`
+	SnapshotHits   uint64 `json:"snapshot_hits"`
+	SnapshotMisses uint64 `json:"snapshot_misses"`
 }
 
 // job is the server-side job record. The mutex guards every mutable field;

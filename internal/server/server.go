@@ -291,9 +291,12 @@ func (s *Server) runJob(j *job, pool *machine.Pool) {
 
 	runEnd := s.now()
 	res := JobResources{
-		Resources:  account.Snapshot(),
-		PoolHits:   ps1.Hits - ps0.Hits,
-		PoolMisses: ps1.Misses - ps0.Misses,
+		Resources:      account.Snapshot(),
+		PoolHits:       ps1.Hits - ps0.Hits,
+		PoolMisses:     ps1.Misses - ps0.Misses,
+		PoolEvictions:  ps1.Evictions - ps0.Evictions,
+		SnapshotHits:   ps1.SnapshotHits - ps0.SnapshotHits,
+		SnapshotMisses: ps1.SnapshotMisses - ps0.SnapshotMisses,
 	}
 	j.trace.Lifecycle("run", started, runEnd, map[string]any{
 		"legs": res.Legs, "sim_cycles": res.SimCycles, "instructions": res.Instructions,
