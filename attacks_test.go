@@ -99,8 +99,16 @@ func TestDefenseAblationPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("expected 5 defenses, got %d", len(rows))
+	// The ablation rows come from the defense registry in canonical order,
+	// with the historical display names for the first five.
+	want := []string{"baseline", "timecache", "ftm", "partitioned", "flush-on-switch", "clepsydra", "fase"}
+	if len(rows) != len(want) {
+		t.Fatalf("expected %d defenses, got %d", len(want), len(rows))
+	}
+	for i, r := range rows {
+		if r.Defense != want[i] {
+			t.Fatalf("row %d defense = %q, want %q", i, r.Defense, want[i])
+		}
 	}
 	if _, err := ReproduceDefenseAblation("nope", ExperimentOptions{}); err == nil {
 		t.Fatal("unknown workload must error")

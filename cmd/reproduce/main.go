@@ -10,7 +10,7 @@
 //	reproduce                  # everything at default scale (~minutes)
 //	reproduce -quick           # reduced instruction budgets (~1 minute)
 //	reproduce -only table2     # one experiment: fig7|fig8|fig9|table2|
-//	                           #   fig10|security|bookkeeping|ablation
+//	                           #   fig10|security|bookkeeping|ablation|matrix
 package main
 
 import (
@@ -146,6 +146,7 @@ func main() {
 		{"security", func() error { return security(*out) }},
 		{"bookkeeping", func() error { return bookkeeping(opts, *out) }},
 		{"ablation", func() error { return ablation(opts, *out) }},
+		{"matrix", func() error { return matrix(opts, *out) }},
 	}
 	alias := map[string]string{"fig7": "table2", "fig8": "table2", "fig9a": "fig9", "fig9b": "fig9"}
 	if a, ok := alias[*only]; ok {
@@ -327,6 +328,29 @@ func ablation(opts timecache.ExperimentOptions, out string) error {
 	fmt.Println(tab.String())
 	fmt.Println()
 	return writeCSV(out, "ablation.csv", tab)
+}
+
+// matrix runs the defense×attack evaluation grid: every registered defense
+// against every attack in the corpus (leaked bits per cell) plus its
+// normalized slowdown on the default workload pair.
+func matrix(opts timecache.ExperimentOptions, out string) error {
+	tab, err := harness.RunJob(harness.Job{Experiment: harness.ExpMatrix}, harness.Options{
+		InstrsPerProc:  opts.InstrsPerProc,
+		WarmupInstrs:   opts.WarmupInstrs,
+		CoherenceCheck: opts.CoherenceCheck,
+		Jobs:           opts.Jobs,
+		Ctx:            opts.Ctx,
+		Account:        opts.Account,
+		Snapshot:       opts.Snapshot,
+		SnapshotCheck:  opts.SnapshotCheck,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Defense × attack matrix (leaked bits per attack; slowdown vs none):")
+	fmt.Println(tab.String())
+	fmt.Println()
+	return writeCSV(out, "matrix.csv", tab)
 }
 
 func writeCSV(dir, name string, tab *stats.Table) error {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"timecache"
+	"timecache/internal/harness"
 	"timecache/internal/machine"
 	"timecache/internal/runner"
 	"timecache/internal/stats"
@@ -44,6 +45,10 @@ func main() {
 		instrs    = flag.Uint64("instrs", 300_000, "instructions per process")
 		llc       = flag.Int("llc", 2<<20, "LLC size in bytes")
 		llcSweep  = flag.String("llc-sweep", "", "comma-separated LLC sizes (e.g. 512K,1M,2M,4M): run baseline+timecache at each size and report normalized time")
+		matrixRun = flag.Bool("matrix", false, "run the defense×attack evaluation matrix and print the leakage/overhead grid")
+		defenses  = flag.String("defenses", "", "comma-separated defense kinds for -matrix (default: every registered defense)")
+		attacks   = flag.String("attacks", "", "comma-separated attack names for -matrix (default: the full corpus)")
+		attackBit = flag.Int("attack-bits", 0, "secret length each -matrix attack transmits (default 32)")
 		cores     = flag.Int("cores", 1, "number of cores")
 		compare   = flag.Bool("compare", false, "run baseline and timecache and report normalized time")
 		gate      = flag.Bool("gatelevel", false, "use the gate-level bit-serial comparator")
@@ -105,6 +110,12 @@ func main() {
 		defer cancel()
 	}
 
+	if *matrixRun {
+		if err := runMatrix(ctx, *defenses, *attacks, *workloads, *attackBit, *instrs, *cohCheck, *jobs); err != nil {
+			fatalCtx(err, *timeout)
+		}
+		return
+	}
 	if *llcSweep != "" {
 		if err := runLLCSweep(ctx, *llcSweep, *workloads, *instrs, *cores, *gate, *cohCheck, *jobs); err != nil {
 			fatalCtx(err, *timeout)
@@ -271,6 +282,42 @@ func runLLCSweep(ctx context.Context, sweep, workloads string, instrs uint64, co
 	}
 	fmt.Printf("LLC sweep (%s, %d instrs/proc, cold start included):\n", workloads, instrs)
 	fmt.Print(tb.String())
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// runMatrix dispatches the defense×attack matrix job — the same job kind
+// cmd/reproduce's -only matrix and the job service's POST /v1/jobs run —
+// and prints the leakage/overhead grid.
+func runMatrix(ctx context.Context, defenses, attacks, pairs string, attackBits int, instrs uint64, cohCheck bool, jobs int) error {
+	j := harness.Job{
+		Experiment: harness.ExpMatrix,
+		Pairs:      splitList(pairs),
+		Defenses:   splitList(defenses),
+		Attacks:    splitList(attacks),
+		AttackBits: attackBits,
+	}
+	tab, err := harness.RunJob(j, harness.Options{
+		InstrsPerProc:  instrs,
+		CoherenceCheck: cohCheck,
+		Jobs:           jobs,
+		Ctx:            ctx,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Defense × attack matrix (leaked bits per attack; slowdown vs none):")
+	fmt.Print(tab.String())
 	return nil
 }
 

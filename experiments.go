@@ -209,8 +209,10 @@ type AblationRow struct {
 	Normalized float64
 }
 
-// ReproduceDefenseAblation compares TimeCache with FTM, DAWG-lite way
-// partitioning, and flush-on-context-switch on one workload pair.
+// ReproduceDefenseAblation compares every registered defense — the s-bit
+// mechanism against FTM, DAWG-lite way partitioning, flush-on-context-
+// switch, Clepsydra-style TTL eviction, and FASE-style selective flushing —
+// on one workload pair, in the registry's canonical order.
 func ReproduceDefenseAblation(label string, opts ExperimentOptions) ([]AblationRow, error) {
 	var pair *workload.Pair
 	for _, p := range workload.SpecPairs() {

@@ -15,8 +15,10 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"timecache/internal/defense"
 	"timecache/internal/harness"
 	"timecache/internal/stats"
 	"timecache/internal/workload"
@@ -127,6 +129,90 @@ func TestGoldenTableIISlice(t *testing.T) {
 	}
 }
 
+// matrixAttackBits keeps the golden matrix's attack cells small: 12 secret
+// bits per channel is enough for leaks-vs-dead contrast while staying CI
+// sized.
+const matrixAttackBits = 12
+
+// matrixTable runs the full default defense×attack matrix (every registry
+// defense against every corpus attack, one perf pair) through the job
+// dispatch layer.
+func matrixTable(t *testing.T, jobs int) *stats.Table {
+	t.Helper()
+	tab, err := harness.RunJob(harness.Job{
+		Experiment: harness.ExpMatrix,
+		AttackBits: matrixAttackBits,
+	}, goldenOpts(jobs))
+	if err != nil {
+		t.Fatalf("golden: matrix: %v", err)
+	}
+	return tab
+}
+
+// TestGoldenMatrix pins the defense×attack matrix bytes: all seven registry
+// defenses against the full attack corpus, identical at -j1 and -j8 and
+// against the checked-in artifact.
+func TestGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var first *stats.Table
+	for _, jobs := range goldenJobs {
+		tab := matrixTable(t, jobs)
+		if first == nil {
+			first = tab
+			checkGolden(t, "matrix.csv", []byte(tab.CSV()))
+			checkGolden(t, "matrix.md", []byte(tab.Markdown()))
+			continue
+		}
+		if tab.CSV() != first.CSV() {
+			t.Errorf("golden: matrix differs between -j%d and -j%d", goldenJobs[0], jobs)
+		}
+	}
+}
+
+// TestDefenseEquivalence pins the tentpole refactor's central claim: every
+// harness leg now selects its mechanism through the defense registry
+// (machine.Config.Defense) instead of the legacy structural flags, and the
+// result bytes are still the seed goldens. It also pins the ablation's
+// migration onto the registry: its rows are exactly the registry kinds in
+// canonical order, under the historical display names.
+func TestDefenseEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	want, err := os.ReadFile(filepath.Join("results", "golden", "table2_slice.csv"))
+	if err != nil {
+		t.Fatalf("golden: %v (regenerate with -update-golden)", err)
+	}
+	if got := tableIISlice(t, 1).CSV(); got != string(want) {
+		t.Errorf("golden: registry-routed table2 slice diverged from seed artifact\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+
+	abl, err := harness.RunJob(harness.Job{Experiment: harness.ExpAblation}, goldenOpts(2))
+	if err != nil {
+		t.Fatalf("golden: ablation: %v", err)
+	}
+	display := map[string]string{defense.None: "baseline", defense.DAWGLite: "partitioned"}
+	var wantRows []string
+	for _, kind := range defense.Kinds() {
+		name := kind
+		if d, ok := display[kind]; ok {
+			name = d
+		}
+		wantRows = append(wantRows, name)
+	}
+	lines := strings.Split(strings.TrimSpace(abl.CSV()), "\n")
+	if len(lines) != len(wantRows)+1 {
+		t.Fatalf("ablation has %d rows, want header + %d defenses:\n%s", len(lines)-1, len(wantRows), abl.CSV())
+	}
+	for i, name := range wantRows {
+		if got := strings.SplitN(lines[i+1], ",", 2)[0]; got != name {
+			t.Errorf("ablation row %d = %q, want registry kind %q", i, got, name)
+		}
+	}
+}
+
 func TestGoldenLLCSweepPoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -160,6 +246,10 @@ func TestGoldenSnapshotForkModes(t *testing.T) {
 		{Experiment: harness.ExpTableII, Pairs: []string{"2Xlbm", "2Xgobmk", "leslie+gobmk"}},
 		{Experiment: harness.ExpLLCSweep, Pairs: []string{"2Xnamd", "2Xmilc"}, LLCSizes: []int{1 << 20}},
 		{Experiment: harness.ExpAblation, Pairs: []string{"2Xgobmk"}},
+		// A matrix slice with a runtime defense: the perf legs exercise the
+		// snapshot path's Defense.CopyFrom deep-copy.
+		{Experiment: harness.ExpMatrix, Defenses: []string{defense.None, defense.Clepsydra},
+			Attacks: []string{"smt"}, AttackBits: 8},
 	}
 	golden := map[string]string{"table2": "table2_slice.csv", "llc-sweep": "llc_sweep.csv"}
 	for _, job := range jobsRuns {

@@ -157,6 +157,13 @@ func RunRSA(mode cache.SecMode, keyBits int, seed uint64) (RSAResult, error) {
 	return runRSAOn(NewMachine(mode, 1), keyBits, seed)
 }
 
+// RunRSAConfig mounts the flush+reload RSA attack on a machine assembled
+// from cfg (the defense×attack matrix selects the defense through
+// cfg.Defense).
+func RunRSAConfig(cfg machine.Config, keyBits int, seed uint64) (RSAResult, error) {
+	return runRSAOn(NewMachineConfig(cfg), keyBits, seed)
+}
+
 // runRSAOn mounts the flush+reload RSA attack on an existing machine.
 func runRSAOn(m *Machine, keyBits int, seed uint64) (RSAResult, error) {
 	lib := rsa.DefaultLibrary(sharedBase)

@@ -105,8 +105,16 @@ func (a *flushFlushAttacker) Step(env sim.Env) bool {
 // constantTimeFlush mitigation (a fixed-latency clflush with dummy
 // writeback, as the paper suggests) does.
 func RunFlushFlush(mode cache.SecMode, constantTimeFlush bool, nbits int, seed uint64) (SecretResult, error) {
-	m := NewMachineConfig(machine.Config{Mode: mode, ConstantTimeFlush: constantTimeFlush})
+	return runFlushFlushOn(NewMachineConfig(machine.Config{Mode: mode, ConstantTimeFlush: constantTimeFlush}), nbits, seed)
+}
 
+// RunFlushFlushConfig mounts flush+flush on a machine assembled from cfg
+// (the defense×attack matrix selects the defense through cfg.Defense).
+func RunFlushFlushConfig(cfg machine.Config, nbits int, seed uint64) (SecretResult, error) {
+	return runFlushFlushOn(NewMachineConfig(cfg), nbits, seed)
+}
+
+func runFlushFlushOn(m *Machine, nbits int, seed uint64) (SecretResult, error) {
 	asA, err := m.MapSharedAt("ff", cache.LineSize)
 	if err != nil {
 		return SecretResult{}, err
@@ -185,7 +193,12 @@ func RunPrimeProbe(mode cache.SecMode, randomizeIndex bool, nbits int, seed uint
 	if randomizeIndex {
 		mcfg.RandomizedIndex = 0xC0FFEE
 	}
-	m := NewMachineConfig(mcfg)
+	return RunPrimeProbeConfig(mcfg, nbits, seed)
+}
+
+// RunPrimeProbeConfig mounts prime+probe on a machine assembled from cfg.
+func RunPrimeProbeConfig(cfg machine.Config, nbits int, seed uint64) (SecretResult, error) {
+	m := NewMachineConfig(cfg)
 	llc := m.K.Hierarchy().LLC()
 
 	asA := kernel.NewAddressSpace(m.K.Physical())
@@ -282,10 +295,17 @@ func (a *lruAttacker) Step(env sim.Env) bool {
 // switching the replacement policy to random destroys the channel — the
 // paper points to randomizing caches for this class.
 func RunLRU(mode cache.SecMode, policy replacement.Kind, nbits int, seed uint64) (SecretResult, error) {
+	return RunLRUConfig(machine.Config{Mode: mode}, policy, nbits, seed)
+}
+
+// RunLRUConfig mounts the LRU attack on a machine assembled from cfg with
+// the given replacement policy.
+func RunLRUConfig(cfg machine.Config, policy replacement.Kind, nbits int, seed uint64) (SecretResult, error) {
 	if _, err := replacement.New(policy, 1, 2, 0); err != nil {
 		return SecretResult{}, err
 	}
-	m := NewMachineConfig(machine.Config{Mode: mode, Policy: policy, PolicySeed: seed + 1})
+	cfg.Policy, cfg.PolicySeed = policy, seed+1
+	m := NewMachineConfig(cfg)
 	l1d := m.K.Hierarchy().L1D(0)
 
 	asA, err := m.MapSharedAt("lru", cache.LineSize)
@@ -413,7 +433,14 @@ func (v *coherenceVictim) Step(env sim.Env) bool {
 // TimeCache the attacker's load is a first access that waits for the DRAM
 // response either way, so the channel disappears (paper §VII-B).
 func RunCoherence(mode cache.SecMode, nbits int, seed uint64) (SecretResult, error) {
-	m := NewMachine(mode, 2)
+	return RunCoherenceConfig(machine.Config{Mode: mode}, nbits, seed)
+}
+
+// RunCoherenceConfig mounts invalidate+transfer on a machine assembled from
+// cfg; the attack needs two cores, so Cores is forced to 2.
+func RunCoherenceConfig(cfg machine.Config, nbits int, seed uint64) (SecretResult, error) {
+	cfg.Cores = 2
+	m := NewMachineConfig(cfg)
 	asA, err := m.MapSharedAt("coh", cache.LineSize)
 	if err != nil {
 		return SecretResult{}, err
@@ -423,10 +450,10 @@ func RunCoherence(mode cache.SecMode, nbits int, seed uint64) (SecretResult, err
 		return SecretResult{}, err
 	}
 	secret := secretBits(nbits, seed)
-	cfg := m.K.Hierarchy().Config()
+	hcfg := m.K.Hierarchy().Config()
 	// Remote forward (L1+LLC+remote) is faster than a memory access
 	// (LLC+DRAM); split the difference.
-	threshold := cfg.L1Lat + cfg.LLCLat + cfg.RemoteL1Lat + (cfg.DRAMLat-cfg.RemoteL1Lat)/2
+	threshold := hcfg.L1Lat + hcfg.LLCLat + hcfg.RemoteL1Lat + (hcfg.DRAMLat-hcfg.RemoteL1Lat)/2
 	const period = 50_000
 	att := &coherenceAttacker{target: sharedBase, rounds: nbits, period: period, threshold: threshold}
 	vic := &coherenceVictim{target: sharedBase, bits: secret, period: period}

@@ -14,7 +14,15 @@ import (
 // this placement: per-hardware-context s-bits deny the attacker reuse hits
 // even on the same physical core, with no context switches involved.
 func RunSMT(mode cache.SecMode, nbits int, seed uint64) (SecretResult, error) {
-	m := NewMachineConfig(machine.Config{Mode: mode, Cores: 1, ThreadsPerCore: 2})
+	return RunSMTConfig(machine.Config{Mode: mode}, nbits, seed)
+}
+
+// RunSMTConfig mounts the hyperthread attack on a machine assembled from
+// cfg; the scenario is one physical core with two hardware threads, so
+// Cores and ThreadsPerCore are forced.
+func RunSMTConfig(cfg machine.Config, nbits int, seed uint64) (SecretResult, error) {
+	cfg.Cores, cfg.ThreadsPerCore = 1, 2
+	m := NewMachineConfig(cfg)
 
 	asA, err := m.MapSharedAt("smt", cache.LineSize)
 	if err != nil {

@@ -168,6 +168,10 @@ type Hierarchy struct {
 	// activeDomain is each core's current security domain (partitioned
 	// mode); the OS updates it at context switches.
 	activeDomain []int
+	// def is the installed runtime defense (see defense.go); nil when the
+	// configured mechanism is structural (s-bits, partitioning, flushes),
+	// which keeps the per-access path at one nil check exactly like obs.
+	def Defense
 	// scratch backs the Access/Flush compatibility wrappers: a long-lived
 	// Request so callers without their own (tests, attack harnesses) still
 	// pay zero allocations per access.
@@ -327,6 +331,11 @@ func (h *Hierarchy) Access(now clock.Cycles, ctx int, addr uint64, kind Kind) Re
 // Addr, Kind), filling r's response trail in place. The observer, if any,
 // sees the completed trail once per access.
 func (h *Hierarchy) Serve(r *Request) {
+	if h.def != nil {
+		// The defense hook runs first so state changes it makes (e.g. a
+		// Clepsydra-style timed eviction) are visible to this access.
+		h.def.OnAccess(r)
+	}
 	r.beginTrail()
 	h.serve(r)
 	if h.cfg.CoherenceCheck {
@@ -820,6 +829,12 @@ func (h *Hierarchy) Reset() {
 	}
 	clear(h.activeDomain)
 	h.obs = nil
+	if h.def != nil {
+		// The defense is part of the configured machine, not telemetry: it
+		// stays installed, but its state must return to fresh for pooled
+		// reuse to stay byte-identical with a cold build.
+		h.def.Reset()
+	}
 }
 
 // FlushAll invalidates every line in every cache (the flush-on-switch

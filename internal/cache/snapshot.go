@@ -55,4 +55,14 @@ func (h *Hierarchy) CopyFrom(src *Hierarchy) {
 	}
 	copy(h.activeDomain, src.activeDomain)
 	h.obs = nil
+	if src.def != nil {
+		// Defense state is timing-relevant and must travel with the
+		// snapshot. The destination hierarchy was built from the same
+		// machine Config and so carries a same-kind instance; CopyFrom
+		// panics on a kind mismatch rather than shelving a partial machine.
+		if h.def == nil {
+			panic("cache: snapshot source has a runtime defense but destination does not")
+		}
+		h.def.CopyFrom(src.def)
+	}
 }

@@ -54,3 +54,21 @@ func (m CostModel) SwitchCost(lineCounts []int) uint64 {
 	}
 	return uint64(transfers) * m.TransferCycles
 }
+
+// Selective-flush cost model (FASE, arXiv:2204.05508): instead of saving and
+// restoring metadata, the switch path walks the private caches' valid bits
+// and invalidates the lines not owned by the incoming process. The hardware
+// proposal pipelines the walk, so the charge is a fixed setup plus a small
+// per-invalidated-line increment — far below a clflush per line.
+const (
+	// SelectiveFlushBaseCycles is the fixed per-switch walk setup.
+	SelectiveFlushBaseCycles = 100
+	// SelectiveFlushLineCycles is the incremental cost per invalidated line.
+	SelectiveFlushLineCycles = 2
+)
+
+// SelectiveFlushCost returns the switch-time cycles to selectively
+// invalidate n lines under the FASE-style model.
+func SelectiveFlushCost(n int) uint64 {
+	return SelectiveFlushBaseCycles + uint64(n)*SelectiveFlushLineCycles
+}

@@ -49,3 +49,14 @@ func TestCopyCostScalesWithCaches(t *testing.T) {
 		t.Errorf("copy switch cost = %d, want %d", c, want)
 	}
 }
+
+func TestSelectiveFlushCostScalesWithLines(t *testing.T) {
+	// Fixed walk setup plus a small per-invalidated-line increment.
+	if c := SelectiveFlushCost(0); c != SelectiveFlushBaseCycles {
+		t.Errorf("SelectiveFlushCost(0) = %d, want %d", c, SelectiveFlushBaseCycles)
+	}
+	want := uint64(SelectiveFlushBaseCycles + 64*SelectiveFlushLineCycles)
+	if c := SelectiveFlushCost(64); c != want {
+		t.Errorf("SelectiveFlushCost(64) = %d, want %d", c, want)
+	}
+}

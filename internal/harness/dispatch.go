@@ -13,6 +13,7 @@ import (
 
 	"timecache/internal/attack"
 	"timecache/internal/cache"
+	"timecache/internal/defense"
 	"timecache/internal/stats"
 	"timecache/internal/workload"
 )
@@ -25,11 +26,12 @@ const (
 	ExpAblation    = "ablation"    // defense comparison on one pair
 	ExpBookkeeping = "bookkeeping" // §VI-D slice-length scaling
 	ExpSecurity    = "security"    // §VI-A microbenchmark + RSA attack
+	ExpMatrix      = "matrix"      // defense×attack leakage/overhead grid
 )
 
 // Experiments lists the dispatchable experiment names, sorted.
 func Experiments() []string {
-	out := []string{ExpTableII, ExpParsec, ExpLLCSweep, ExpAblation, ExpBookkeeping, ExpSecurity}
+	out := []string{ExpTableII, ExpParsec, ExpLLCSweep, ExpAblation, ExpBookkeeping, ExpSecurity, ExpMatrix}
 	sort.Strings(out)
 	return out
 }
@@ -56,8 +58,18 @@ type Job struct {
 	SliceCycles []uint64
 	// KeyBits is the security experiment's RSA key length (default 64).
 	KeyBits int
-	// Seed seeds the security experiment's key generation (default 12345).
+	// Seed seeds the security and matrix experiments' secret generation
+	// (default 12345).
 	Seed uint64
+	// Defenses selects the matrix experiment's rows by registry kind
+	// (defense.Kinds). Empty selects every registered defense.
+	Defenses []string
+	// Attacks selects the matrix experiment's leakage columns
+	// (MatrixAttacks). Empty selects the full attack corpus.
+	Attacks []string
+	// AttackBits is the secret length each matrix attack transmits
+	// (default 32).
+	AttackBits int
 }
 
 // Validate checks the job before it is queued: the experiment must exist and
@@ -88,6 +100,24 @@ func (j Job) Validate() error {
 		}
 		return nil
 	case ExpBookkeeping, ExpSecurity:
+		return nil
+	case ExpMatrix:
+		if _, err := selectPairs(j.Pairs); err != nil {
+			return err
+		}
+		for _, d := range j.Defenses {
+			if !defense.Valid(d) {
+				return fmt.Errorf("harness: unknown defense %q (want one of %v)", d, defense.Kinds())
+			}
+		}
+		for _, a := range j.Attacks {
+			if matrixAttackByName(a) == nil {
+				return fmt.Errorf("harness: unknown attack %q (want one of %v)", a, MatrixAttacks())
+			}
+		}
+		if j.AttackBits < 0 {
+			return fmt.Errorf("harness: matrix attack bits must be non-negative, got %d", j.AttackBits)
+		}
 		return nil
 	case "":
 		return fmt.Errorf("harness: job has no experiment (want one of %v)", Experiments())
@@ -148,6 +178,9 @@ func RunJob(j Job, opts Options) (*stats.Table, error) {
 		return BookkeepingTable(j.SliceCycles, opts)
 	case ExpSecurity:
 		return SecurityTable(j.KeyBits, j.Seed, opts)
+	case ExpMatrix:
+		pairs, _ := selectPairs(j.Pairs)
+		return MatrixTable(j.Defenses, j.Attacks, pairs, j.AttackBits, j.Seed, opts)
 	}
 	// Unreachable: Validate rejected everything else.
 	return nil, fmt.Errorf("harness: unknown experiment %q", j.Experiment)

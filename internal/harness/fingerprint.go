@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"timecache/internal/defense"
 	"timecache/internal/workload"
 )
 
@@ -30,7 +31,12 @@ import (
 // timing-model changes — so stale cache entries from older builds can never
 // alias the new results. The golden tests catch unintended result drift; an
 // intended drift is exactly when this constant must move.
-const FingerprintSchemaVersion = 1
+//
+// v2: the Defense seam and the matrix experiment — Job gained Defenses,
+// Attacks, and AttackBits, the ablation gained the registry's runtime
+// defense rows, and the encoding below appends the new fields for every
+// experiment.
+const FingerprintSchemaVersion = 2
 
 // Default selections, shared by Canonical and RunJob so the canonical form
 // can never diverge from what actually runs.
@@ -49,6 +55,9 @@ const (
 
 // defaultAblationPair is the pair RunDefenseAblation uses when none is named.
 const defaultAblationPair = "2Xgobmk"
+
+// defaultAttackBits is the matrix experiment's default secret length.
+const defaultAttackBits = 32
 
 // pairLabels projects a pair list back to its labels.
 func pairLabels(pairs []workload.Pair) []string {
@@ -104,6 +113,26 @@ func (j Job) Canonical() Job {
 		if c.Seed == 0 {
 			c.Seed = defaultSeed
 		}
+	case ExpMatrix:
+		c.Pairs = append([]string(nil), j.Pairs...)
+		if len(c.Pairs) == 0 {
+			c.Pairs = []string{defaultAblationPair}
+		}
+		c.Defenses = append([]string(nil), j.Defenses...)
+		if len(c.Defenses) == 0 {
+			c.Defenses = defense.Kinds()
+		}
+		c.Attacks = append([]string(nil), j.Attacks...)
+		if len(c.Attacks) == 0 {
+			c.Attacks = MatrixAttacks()
+		}
+		c.AttackBits, c.Seed = j.AttackBits, j.Seed
+		if c.AttackBits == 0 {
+			c.AttackBits = defaultAttackBits
+		}
+		if c.Seed == 0 {
+			c.Seed = defaultSeed
+		}
 	}
 	return c
 }
@@ -135,6 +164,13 @@ func (j Job) Fingerprint() string {
 	buf = strconv.AppendInt(buf, int64(c.KeyBits), 10)
 	buf = append(buf, 0, 'u')
 	buf = strconv.AppendUint(buf, c.Seed, 10)
+	buf = append(buf, 0)
+	// v2 fields (matrix); zero-valued on every other experiment, so their
+	// encoding stays constant there.
+	buf = appendStrings(buf, c.Defenses)
+	buf = appendStrings(buf, c.Attacks)
+	buf = append(buf, 'i')
+	buf = strconv.AppendInt(buf, int64(c.AttackBits), 10)
 	buf = append(buf, 0)
 	sum := sha256.Sum256(buf)
 	return hex.EncodeToString(sum[:])

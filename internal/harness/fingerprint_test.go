@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"timecache/internal/defense"
 	"timecache/internal/workload"
 )
 
@@ -26,6 +27,8 @@ func TestFingerprintDefaultEquivalence(t *testing.T) {
 		{"ablation pair", Job{Experiment: ExpAblation}, Job{Experiment: ExpAblation, Pairs: []string{defaultAblationPair}}},
 		{"bookkeeping ladder", Job{Experiment: ExpBookkeeping}, Job{Experiment: ExpBookkeeping, SliceCycles: defaultSliceLadder()}},
 		{"security key+seed", Job{Experiment: ExpSecurity}, Job{Experiment: ExpSecurity, KeyBits: defaultKeyBits, Seed: defaultSeed}},
+		{"matrix defaults", Job{Experiment: ExpMatrix}, Job{Experiment: ExpMatrix, Pairs: []string{defaultAblationPair},
+			Defenses: defense.Kinds(), Attacks: MatrixAttacks(), AttackBits: defaultAttackBits, Seed: defaultSeed}},
 		// Fields the experiment ignores must not perturb the hash.
 		{"table2 ignores seed", Job{Experiment: ExpTableII}, Job{Experiment: ExpTableII, KeyBits: 128, Seed: 999, SliceCycles: []uint64{1}}},
 	}
@@ -49,6 +52,15 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"sweep sizes":     {Experiment: ExpLLCSweep, Pairs: base.Pairs, LLCSizes: []int{1 << 20}},
 		"slice ladder":    {Experiment: ExpBookkeeping, SliceCycles: []uint64{50_000}},
 		"parsec selected": {Experiment: ExpParsec, Workloads: []string{"x264"}},
+		"matrix default":  {Experiment: ExpMatrix},
+		"matrix defenses": {Experiment: ExpMatrix, Defenses: []string{"none", "timecache"}},
+		"matrix defense order": {Experiment: ExpMatrix,
+			Defenses: []string{"timecache", "none"}},
+		"matrix attacks": {Experiment: ExpMatrix, Attacks: []string{"smt", "coherence"}},
+		"matrix attack order": {Experiment: ExpMatrix,
+			Attacks: []string{"coherence", "smt"}},
+		"matrix bits": {Experiment: ExpMatrix, AttackBits: 16},
+		"matrix seed": {Experiment: ExpMatrix, Seed: 7},
 	}
 	seen := map[string]string{base.Fingerprint(): "base"}
 	for name, j := range variants {
@@ -72,7 +84,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 // this test fails because results legitimately changed (new defaults, new
 // pair list), bump FingerprintSchemaVersion and re-pin.
 func TestFingerprintStableAcrossProcesses(t *testing.T) {
-	const wantTable2Default = "8d75ffe699932d00f3b306adf18bfc8b84b9e4c0b2f2d2d11cd51c01b8a138eb"
+	const wantTable2Default = "8e93f83cc7e145916a01eabb41f70c2e0a8de5f6f6db0fbb9df0b94739f955b4"
 	got := Job{Experiment: ExpTableII}.Fingerprint()
 	if got != wantTable2Default {
 		t.Errorf("Fingerprint({table2}) = %s, want pinned %s (result-affecting change? bump FingerprintSchemaVersion and re-pin)", got, wantTable2Default)
@@ -93,6 +105,8 @@ func TestCanonicalIdempotent(t *testing.T) {
 		{Experiment: ExpAblation},
 		{Experiment: ExpBookkeeping, SliceCycles: []uint64{123}},
 		{Experiment: ExpSecurity, KeyBits: 32, Seed: 42},
+		{Experiment: ExpMatrix},
+		{Experiment: ExpMatrix, Defenses: []string{"fase"}, Attacks: []string{"lru"}, AttackBits: 8},
 	}
 	for _, j := range jobs {
 		c := j.Canonical()
@@ -112,12 +126,14 @@ func TestCanonicalIdempotent(t *testing.T) {
 // canonical forms (no aliasing across configs; an aliased key would silently
 // serve one config's results for another).
 func FuzzFingerprint(f *testing.F) {
-	f.Add(uint8(0), "2Xlbm", "x264", 0, uint64(0), 0, uint64(0))
-	f.Add(uint8(2), "", "", 1<<20, uint64(200_000), 64, uint64(12345))
-	f.Add(uint8(5), "2Xgobmk", "facesim", 512<<10, uint64(100_000), 32, uint64(7))
+	f.Add(uint8(0), "2Xlbm", "x264", 0, uint64(0), 0, uint64(0), "", "", 0)
+	f.Add(uint8(2), "", "", 1<<20, uint64(200_000), 64, uint64(12345), "", "", 0)
+	f.Add(uint8(5), "2Xgobmk", "facesim", 512<<10, uint64(100_000), 32, uint64(7), "", "", 0)
+	f.Add(uint8(4), "2Xgobmk", "", 0, uint64(0), 0, uint64(99), "timecache", "llc-occupancy", 16)
+	f.Add(uint8(4), "", "", 0, uint64(0), 0, uint64(0), "clepsydra", "flush-reload", 8)
 	exps := Experiments()
-	f.Fuzz(func(t *testing.T, expIdx uint8, pair, wl string, llc int, slice uint64, keyBits int, seed uint64) {
-		j := Job{Experiment: exps[int(expIdx)%len(exps)], KeyBits: keyBits, Seed: seed}
+	f.Fuzz(func(t *testing.T, expIdx uint8, pair, wl string, llc int, slice uint64, keyBits int, seed uint64, def, att string, attackBits int) {
+		j := Job{Experiment: exps[int(expIdx)%len(exps)], KeyBits: keyBits, Seed: seed, AttackBits: attackBits}
 		if pair != "" {
 			j.Pairs = []string{pair}
 		}
@@ -129,6 +145,12 @@ func FuzzFingerprint(f *testing.F) {
 		}
 		if slice != 0 {
 			j.SliceCycles = []uint64{slice}
+		}
+		if def != "" {
+			j.Defenses = []string{def}
+		}
+		if att != "" {
+			j.Attacks = []string{att}
 		}
 		if j.Validate() != nil {
 			t.Skip()

@@ -11,6 +11,7 @@ import (
 
 	"timecache/internal/cache"
 	"timecache/internal/core"
+	"timecache/internal/defense"
 	"timecache/internal/kernel"
 	"timecache/internal/machine"
 	"timecache/internal/runner"
@@ -285,10 +286,15 @@ type PairResult struct {
 	ContextSwitches uint64
 }
 
-// machineConfig derives the machine assembly config for an experiment.
+// machineConfig derives the machine assembly config for an experiment. The
+// defense registry kind is spelled out alongside the legacy mode so every
+// experiment leg runs through the Defense seam (for the historical modes the
+// two spellings configure identical machines; TestDefenseEquivalence pins
+// that).
 func machineConfig(mode cache.SecMode, cores int, opts Options, frames int) machine.Config {
 	return machine.Config{
 		Mode:           mode,
+		Defense:        defense.KindOfMode(mode),
 		Cores:          cores,
 		LLCSize:        opts.LLCSize,
 		GateLevel:      opts.GateLevel,
@@ -753,6 +759,31 @@ type DefenseResult struct {
 	Normalized float64
 }
 
+// ablationConfig names one ablation row: the registry kind that configures
+// the machine and the row's display name.
+type ablationConfig struct {
+	name string
+	kind string
+}
+
+// ablationConfigs enumerates the defense registry in canonical order under
+// the ablation's historical row names ("baseline" for none, "partitioned"
+// for dawg-lite; the rest display their registry kind).
+func ablationConfigs() []ablationConfig {
+	out := make([]ablationConfig, 0, len(defense.Kinds()))
+	for _, kind := range defense.Kinds() {
+		name := kind
+		switch kind {
+		case defense.None:
+			name = "baseline"
+		case defense.DAWGLite:
+			name = "partitioned"
+		}
+		out = append(out, ablationConfig{name: name, kind: kind})
+	}
+	return out
+}
+
 // RunDefenseAblation compares the overhead of TimeCache against the
 // alternative defenses DESIGN.md catalogs (FTM, DAWG-lite way partitioning,
 // flush-on-context-switch) on one workload pair.
@@ -768,26 +799,17 @@ func RunDefenseAblation(pair workload.Pair, opts Options) ([]DefenseResult, erro
 	}
 	frames := workload.FramesNeeded(pa) + workload.FramesNeeded(pb) + 1024
 
-	type config struct {
-		name          string
-		mode          cache.SecMode
-		partitioned   bool
-		flushOnSwitch bool
-	}
-	configs := []config{
-		{name: "baseline", mode: cache.SecOff},
-		{name: "timecache", mode: cache.SecTimeCache},
-		{name: "ftm", mode: cache.SecFTM},
-		{name: "partitioned", mode: cache.SecOff, partitioned: true},
-		{name: "flush-on-switch", mode: cache.SecOff, flushOnSwitch: true},
-	}
+	// The rows come from the defense registry: the historical display names
+	// are kept for the first five (their kinds configure machines identical
+	// to the legacy mode/flag spellings), and the runtime defenses the
+	// registry added (clepsydra, fase) ride along as extra rows.
+	configs := ablationConfigs()
 	// Each defense configuration is an independent machine; run them all
 	// concurrently and normalize against the baseline's cycles afterwards.
 	cyclesFor, err := runner.MapWorkersCtx(opts.ctx(), len(configs), opts.pool(), opts.newPool, func(pool *machine.Pool, i int) (uint64, error) {
 		cfgDef := configs[i]
-		mcfg := machineConfig(cfgDef.mode, 1, opts, frames)
-		mcfg.Partitioned = cfgDef.partitioned
-		mcfg.FlushOnSwitch = cfgDef.flushOnSwitch
+		mcfg := machineConfig(cache.SecOff, 1, opts, frames)
+		mcfg.Mode, mcfg.Defense = cache.SecOff, cfgDef.kind
 		l, err := specLeg(pair, mcfg, cfgDef.name, opts, nil)
 		if err != nil {
 			return 0, err

@@ -352,6 +352,19 @@ func (k *Kernel) contextSwitch(c *coreState, out, in *Process) {
 		// to its ways; processes map to domains by PID.
 		k.hier.SetActiveDomain(k.hier.CoreOf(c.ctx), in.PID)
 	}
+	// Runtime defenses (FASE-style selective flushing) act at the switch and
+	// charge their cost inside the switch window, so it lands in
+	// Stats.SwitchCycles like the base and bookkeeping components.
+	outPID, inPID := 0, 0
+	if out != nil {
+		outPID = out.PID
+	}
+	if in != nil {
+		inPID = in.PID
+	}
+	if cost := k.hier.DefenseSwitch(k.hier.CoreOf(c.ctx), outPID, inPID, c.clock.Now()); cost > 0 {
+		c.clock.Advance(cost)
+	}
 
 	var bkStart, bkEnd uint64
 	if len(c.secCaches) > 0 {

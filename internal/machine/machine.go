@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"timecache/internal/cache"
+	"timecache/internal/defense"
 	"timecache/internal/kernel"
 	"timecache/internal/mem"
 	"timecache/internal/replacement"
@@ -39,6 +40,15 @@ const DefaultPhysFrames = 32768
 type Config struct {
 	// Mode selects the defense (cache.SecOff, SecTimeCache, SecFTM).
 	Mode cache.SecMode
+	// Defense, when non-empty, selects the defense by registry kind
+	// (internal/defense: "none", "timecache", "ftm", "dawg-lite",
+	// "flush-on-switch", "clepsydra", "fase"), overriding Mode,
+	// Partitioned, and FlushOnSwitch, and installing the kind's runtime
+	// defense instance on the hierarchy when it has one. Because Config is
+	// comparable, the field participates in pool and snapshot-shelf keys
+	// automatically: machines with different defenses never alias. An
+	// unknown kind panics at assembly; validate at the job layer first.
+	Defense string
 	// Cores is the number of cores; zero keeps the default (1).
 	Cores int
 	// ThreadsPerCore is the SMT width; zero keeps the default (1).
@@ -90,6 +100,7 @@ type Config struct {
 // and internal/harness. Zero-valued fields keep the paper defaults from
 // cache.DefaultHierarchyConfig; TestHierarchyConfigMapping pins every field.
 func (c Config) HierarchyConfig() cache.HierarchyConfig {
+	st := c.static()
 	h := cache.DefaultHierarchyConfig()
 	if c.Cores > 0 {
 		h.Cores = c.Cores
@@ -97,7 +108,7 @@ func (c Config) HierarchyConfig() cache.HierarchyConfig {
 	if c.ThreadsPerCore > 0 {
 		h.ThreadsPerCore = c.ThreadsPerCore
 	}
-	h.Mode = c.Mode
+	h.Mode = st.Mode
 	if c.L1Size != 0 {
 		h.L1Size = c.L1Size
 	}
@@ -110,7 +121,7 @@ func (c Config) HierarchyConfig() cache.HierarchyConfig {
 	h.Sec.GateLevel = c.GateLevel
 	h.Sec.MaxSharers = c.MaxSharers
 	h.ConstantTimeFlush = c.ConstantTimeFlush
-	h.Partitioned = c.Partitioned
+	h.Partitioned = st.Partitioned
 	h.IndexRand = c.RandomizedIndex
 	h.CoherenceCheck = c.CoherenceCheck
 	h.NextLinePrefetch = c.NextLinePrefetch
@@ -128,8 +139,23 @@ func (c Config) KernelConfig() kernel.Config {
 	if c.SliceCycles != 0 {
 		k.SliceCycles = c.SliceCycles
 	}
-	k.FlushOnSwitch = c.FlushOnSwitch
+	k.FlushOnSwitch = c.static().FlushOnSwitch
 	return k
+}
+
+// static resolves the effective structural defense configuration: the
+// Defense registry kind when set, else the legacy per-field selection. The
+// two spellings of the same defense produce identical machines
+// (TestDefenseConfigEquivalence pins this).
+func (c Config) static() defense.Static {
+	if c.Defense == "" {
+		return defense.Static{Mode: c.Mode, Partitioned: c.Partitioned, FlushOnSwitch: c.FlushOnSwitch}
+	}
+	st, err := defense.StaticOf(c.Defense)
+	if err != nil {
+		panic(err)
+	}
+	return st
 }
 
 func (c Config) frames() int {
@@ -153,6 +179,15 @@ type Machine struct {
 func New(cfg Config) *Machine {
 	hcfg := cfg.HierarchyConfig()
 	hier := cache.NewHierarchy(hcfg)
+	if cfg.Defense != "" {
+		// Defense kinds with runtime state (clepsydra, fase) get their
+		// instance here, once per machine: Reset resets it in place, and
+		// Snapshot/Fork build the destination through New so CopyFrom
+		// always finds a same-kind instance to deep-copy into.
+		if d := defense.NewRuntime(cfg.Defense, hier); d != nil {
+			hier.SetDefense(d)
+		}
+	}
 	phys := mem.NewPhysical(cfg.frames(), hcfg.DRAMLat)
 	return &Machine{cfg: cfg, hier: hier, phys: phys, k: kernel.New(cfg.KernelConfig(), hier, phys)}
 }

@@ -48,6 +48,11 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	if err := frozen.k.CopyFrom(m.k); err != nil {
 		return nil, err
 	}
+	// Hierarchy.CopyFrom also deep-copies runtime defense state (clepsydra
+	// deadlines, fase ownership): New installed a same-kind instance on the
+	// frozen machine because the Config carries the defense kind, and
+	// CopyFrom refuses (panics) on a kind mismatch rather than shelving a
+	// machine with silently dropped defense state.
 	frozen.hier.CopyFrom(m.hier)
 	// Seal before aliasing: from here on, stores on the live machine copy
 	// their frame first, so the frozen machine's view never changes.

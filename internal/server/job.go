@@ -22,7 +22,7 @@ import (
 // values defer to the same defaults the CLIs use.
 type Spec struct {
 	// Experiment is one of harness.Experiments() ("table2", "parsec",
-	// "llc-sweep", "ablation", "bookkeeping", "security").
+	// "llc-sweep", "ablation", "bookkeeping", "security", "matrix").
 	Experiment string `json:"experiment"`
 	// Pairs selects SPEC workload pairs by Table II label ("2Xlbm",
 	// "leslie+gobmk"). Empty runs the experiment's default set.
@@ -34,9 +34,20 @@ type Spec struct {
 	LLCSizesKB []int `json:"llc_sizes_kb,omitempty"`
 	// SliceLadder are the bookkeeping-scaling slice lengths in cycles.
 	SliceLadder []uint64 `json:"slice_ladder,omitempty"`
-	// KeyBits and Seed parameterize the security experiment's RSA victim.
+	// KeyBits and Seed parameterize the security experiment's RSA victim
+	// (Seed also seeds the matrix experiment's secrets).
 	KeyBits int    `json:"key_bits,omitempty"`
 	Seed    uint64 `json:"seed,omitempty"`
+	// Defenses selects the matrix experiment's rows by registry kind
+	// ("none", "timecache", "ftm", "dawg-lite", "flush-on-switch",
+	// "clepsydra", "fase"). Empty runs every registered defense.
+	Defenses []string `json:"defenses,omitempty"`
+	// Attacks selects the matrix experiment's leakage columns. Empty runs
+	// the full attack corpus.
+	Attacks []string `json:"attacks,omitempty"`
+	// AttackBits is the secret length each matrix attack transmits
+	// (default 32).
+	AttackBits int `json:"attack_bits,omitempty"`
 
 	// InstrsPerProc and WarmupInstrs mirror -instrs/-warmup: the measured
 	// and warmup instruction budgets per process.
@@ -75,6 +86,9 @@ func (s Spec) harnessJob() harness.Job {
 		SliceCycles: s.SliceLadder,
 		KeyBits:     s.KeyBits,
 		Seed:        s.Seed,
+		Defenses:    s.Defenses,
+		Attacks:     s.Attacks,
+		AttackBits:  s.AttackBits,
 	}
 }
 
@@ -108,6 +122,9 @@ func (s Spec) validate() error {
 	}
 	if s.LLCSizeKB < 0 {
 		return fmt.Errorf("llc_size_kb must be >= 0, got %d", s.LLCSizeKB)
+	}
+	if s.AttackBits < 0 {
+		return fmt.Errorf("attack_bits must be >= 0, got %d", s.AttackBits)
 	}
 	return s.harnessJob().Validate()
 }

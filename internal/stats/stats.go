@@ -30,6 +30,23 @@ func Normalized(defenseCycles, baselineCycles uint64) float64 {
 // OverheadPct converts a normalized time to a percentage overhead.
 func OverheadPct(normalized float64) float64 { return (normalized - 1) * 100 }
 
+// BinaryChannelBits converts an attack's bit-recovery accuracy over n
+// transmitted bits into the capacity of the equivalent binary symmetric
+// channel, n·(1 − H(p)) where p is the per-bit error rate: n when every bit
+// is recovered, 0 at coin-flip accuracy. Accuracy below 0.5 is folded (a
+// consistently wrong channel still carries information).
+func BinaryChannelBits(n int, accuracy float64) float64 {
+	p := accuracy
+	if p < 0.5 {
+		p = 1 - p
+	}
+	if p >= 1 {
+		return float64(n)
+	}
+	h := -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	return float64(n) * (1 - h)
+}
+
 // GeoMean returns the geometric mean of xs (zero for empty input; any
 // non-positive element is skipped, matching how overhead ratios behave).
 func GeoMean(xs []float64) float64 {
