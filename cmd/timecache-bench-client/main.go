@@ -20,6 +20,13 @@
 // from /metrics and parsed with the same strict exposition parser the tests
 // use), drawn as textplot sparklines.
 //
+// -connect-retries makes startup races benign: when the server is not yet
+// accepting connections (connection refused — e.g. the CI smoke job starts
+// timecache-serve and the client in the same breath, or the kill-and-restart
+// step reconnects while the server replays its store), the client retries
+// the submission a bounded number of times with jittered exponential
+// backoff instead of failing the whole run.
+//
 // -repeat-frac exercises the server's content-addressed result cache: that
 // fraction of submissions reuses one spec (the rest get unique instruction
 // budgets, so they can never hit). The summary then reports each
@@ -32,20 +39,51 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"timecache/internal/clock"
 	"timecache/internal/promtext"
 	"timecache/internal/stats"
 	"timecache/internal/textplot"
 )
+
+// clk drives every wait in the client (connect backoff, 429 Retry-After,
+// status polling, deadlines). Tests swap in a clock.Fake so retry schedules
+// are exercised without real sleeps.
+var clk clock.WallClock = clock.Real{}
+
+// sleep blocks for d on clk.
+func sleep(d time.Duration) {
+	ch := make(chan struct{})
+	clk.AfterFunc(d, func() { close(ch) })
+	<-ch
+}
+
+// connectBackoff returns the jittered exponential delay before connect
+// attempt n (1-based): half the window fixed, half uniform, with the window
+// doubling from 100ms and capped at 2s. The fixed half keeps the delay
+// nonzero so a refused connection never busy-loops.
+func connectBackoff(n int) time.Duration {
+	window := 100 * time.Millisecond
+	for i := 1; i < n && window < 2*time.Second; i++ {
+		window *= 2
+	}
+	if window > 2*time.Second {
+		window = 2 * time.Second
+	}
+	return window/2 + time.Duration(rand.Int63n(int64(window/2)+1))
+}
 
 func main() {
 	var (
@@ -61,25 +99,31 @@ func main() {
 		dash       = flag.Bool("dash", false, "render a live terminal dashboard while the load runs")
 		dashEvery  = flag.Duration("dash-interval", 500*time.Millisecond, "dashboard refresh/sample interval")
 		repeatFrac = flag.Float64("repeat-frac", 0, "fraction of submissions reusing one spec (0 = every job unique, 1 = all identical)")
+		connRetry  = flag.Int("connect-retries", 5, "extra submission attempts when the connection is refused, with jittered exponential backoff")
 	)
 	flag.Parse()
 	if *repeatFrac < 0 || *repeatFrac > 1 {
 		fmt.Fprintln(os.Stderr, "timecache-bench-client: -repeat-frac must be in [0, 1]")
 		os.Exit(2)
 	}
-	if err := run(*addr, *n, *c, *experiment, *pairs, *instrs, *warmup, *timeout, *wantGolden, *dash, *dashEvery, *repeatFrac); err != nil {
+	if *connRetry < 0 {
+		fmt.Fprintln(os.Stderr, "timecache-bench-client: -connect-retries must be >= 0")
+		os.Exit(2)
+	}
+	if err := run(*addr, *n, *c, *experiment, *pairs, *instrs, *warmup, *timeout, *wantGolden, *dash, *dashEvery, *repeatFrac, *connRetry); err != nil {
 		fmt.Fprintln(os.Stderr, "timecache-bench-client:", err)
 		os.Exit(1)
 	}
 }
 
 type clientResult struct {
-	id      string
-	latency time.Duration
-	retries int
-	csv     string
-	cache   string // X-Timecache-Cache disposition ("" when the server has no cache)
-	err     error
+	id          string
+	latency     time.Duration
+	retries     int // 429 backpressure retries
+	connRetries int // connection-refused retries
+	csv         string
+	cache       string // X-Timecache-Cache disposition ("" when the server has no cache)
+	err         error
 }
 
 // tracker is the dashboard's shared view of client-side progress.
@@ -104,7 +148,7 @@ func (t *tracker) snapshot() (int, []float64) {
 	return t.done, append([]float64(nil), t.lats...)
 }
 
-func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64, timeout time.Duration, wantGolden string, dash bool, dashEvery time.Duration, repeatFrac float64) error {
+func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64, timeout time.Duration, wantGolden string, dash bool, dashEvery time.Duration, repeatFrac float64, connRetry int) error {
 	spec := map[string]any{
 		"experiment":      experiment,
 		"instrs_per_proc": instrs,
@@ -147,7 +191,7 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 	}
 
 	client := &http.Client{Timeout: timeout}
-	deadline := time.Now().Add(timeout)
+	deadline := clk.Now().Add(timeout)
 	results := make([]clientResult, n)
 	sem := make(chan struct{}, max(1, c))
 	tr := &tracker{}
@@ -168,7 +212,7 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] = oneJob(client, addr, bodies[i], deadline)
+			results[i] = oneJob(client, addr, bodies[i], deadline, connRetry)
 			tr.complete(float64(results[i].latency.Milliseconds()), results[i].err == nil)
 		}(i)
 	}
@@ -180,7 +224,7 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 	}
 
 	var lats, hitLats, missLats []float64
-	retries := 0
+	retries, connRetries := 0, 0
 	failed := 0
 	hits, misses, coalesced, bypass := 0, 0, 0, 0
 	for i, r := range results {
@@ -194,6 +238,7 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 		ms := float64(r.latency.Microseconds()) / 1000
 		lats = append(lats, ms)
 		retries += r.retries
+		connRetries += r.connRetries
 		switch r.cache {
 		case "hit":
 			hits++
@@ -217,6 +262,7 @@ func run(addr string, n, c int, experiment, pairs string, instrs, warmup uint64,
 	tab.Add("jobs", fmt.Sprintf("%d", n))
 	tab.Add("failed", fmt.Sprintf("%d", failed))
 	tab.Add("429-retries", fmt.Sprintf("%d", retries))
+	tab.Add("connect-retries", fmt.Sprintf("%d", connRetries))
 	tab.Add("wall", wall.Round(time.Millisecond).String())
 	for _, p := range []float64{50, 90, 99} {
 		tab.Add(fmt.Sprintf("p%.0f-ms", p), stats.Percentile(lats, p/100))
@@ -345,19 +391,25 @@ func sampleValue(m *promtext.Metrics, name string) float64 {
 	return 0
 }
 
-// oneJob submits one job (retrying on 429 per Retry-After), waits for a
-// terminal state, and fetches the CSV result. Latency is submit-to-result.
-func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) clientResult {
+// oneJob submits one job (retrying on 429 per Retry-After and up to
+// connRetry times on connection refused), waits for a terminal state, and
+// fetches the CSV result. Latency is submit-to-result.
+func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time, connRetry int) clientResult {
 	var res clientResult
-	start := time.Now()
+	start := clk.Now()
 
 	for {
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			res.err = fmt.Errorf("deadline exceeded before admission")
 			return res
 		}
 		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(spec))
 		if err != nil {
+			if errors.Is(err, syscall.ECONNREFUSED) && res.connRetries < connRetry {
+				res.connRetries++
+				sleep(connectBackoff(res.connRetries))
+				continue
+			}
 			res.err = err
 			return res
 		}
@@ -369,7 +421,7 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
 				wait = time.Duration(ra) * time.Second
 			}
-			time.Sleep(wait)
+			sleep(wait)
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {
@@ -389,7 +441,7 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 	}
 
 	for {
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			res.err = fmt.Errorf("deadline exceeded waiting for %s", res.id)
 			return res
 		}
@@ -414,7 +466,7 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 			res.err = fmt.Errorf("job %s %s: %s", res.id, st.State, st.Error)
 			return res
 		default:
-			time.Sleep(25 * time.Millisecond)
+			sleep(25 * time.Millisecond)
 			continue
 		}
 		break
@@ -432,6 +484,6 @@ func oneJob(client *http.Client, addr string, spec []byte, deadline time.Time) c
 		return res
 	}
 	res.csv = string(body)
-	res.latency = time.Since(start)
+	res.latency = clk.Now().Sub(start)
 	return res
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"timecache/internal/clock"
+)
+
+// refusingTransport rejects the first `failures` POST submissions with a
+// wrapped ECONNREFUSED — the same error shape a dial against a dead server
+// produces — and forwards everything else to the real transport.
+type refusingTransport struct {
+	failures int32
+	posts    atomic.Int32
+	base     http.RoundTripper
+}
+
+func (t *refusingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Method == http.MethodPost && t.posts.Add(1) <= t.failures {
+		return nil, &net.OpError{Op: "dial", Net: "tcp",
+			Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}
+	}
+	return t.base.RoundTrip(r)
+}
+
+// stubServer answers the minimal job lifecycle: accept, immediately done,
+// fixed CSV result.
+func stubServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": "job-1"})
+	})
+	mux.HandleFunc("GET /v1/jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"state": "done"})
+	})
+	mux.HandleFunc("GET /v1/jobs/job-1/result", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("pair,leakage\n"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// withFakeClock swaps the package clock for a Fake and returns it alongside
+// a driver that advances fake time until done closes, so sleeps inside
+// oneJob resolve without real waiting.
+func withFakeClock(t *testing.T) (*clock.Fake, chan struct{}) {
+	t.Helper()
+	fake := clock.NewFake(time.Unix(0, 0))
+	prev := clk
+	clk = fake
+	t.Cleanup(func() { clk = prev })
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				fake.Advance(500 * time.Millisecond)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	return fake, done
+}
+
+func TestConnectRetrySucceedsAfterRefusals(t *testing.T) {
+	ts := stubServer(t)
+	tr := &refusingTransport{failures: 2, base: ts.Client().Transport}
+	client := &http.Client{Transport: tr}
+	_, done := withFakeClock(t)
+	defer close(done)
+
+	res := oneJob(client, ts.URL, []byte(`{}`), clk.Now().Add(time.Hour), 3)
+	if res.err != nil {
+		t.Fatalf("oneJob failed despite retry budget: %v", res.err)
+	}
+	if res.connRetries != 2 {
+		t.Fatalf("connRetries = %d, want 2", res.connRetries)
+	}
+	if got := tr.posts.Load(); got != 3 {
+		t.Fatalf("POST attempts = %d, want 3 (2 refused + 1 accepted)", got)
+	}
+	if res.csv != "pair,leakage\n" {
+		t.Fatalf("csv = %q", res.csv)
+	}
+}
+
+func TestConnectRetryBudgetExhausted(t *testing.T) {
+	ts := stubServer(t)
+	tr := &refusingTransport{failures: 100, base: ts.Client().Transport}
+	client := &http.Client{Transport: tr}
+	_, done := withFakeClock(t)
+	defer close(done)
+
+	res := oneJob(client, ts.URL, []byte(`{}`), clk.Now().Add(time.Hour), 2)
+	if res.err == nil {
+		t.Fatal("oneJob succeeded, want error after budget exhausted")
+	}
+	if res.connRetries != 2 {
+		t.Fatalf("connRetries = %d, want 2", res.connRetries)
+	}
+	if got := tr.posts.Load(); got != 3 {
+		t.Fatalf("POST attempts = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestConnectRetryDisabled(t *testing.T) {
+	ts := stubServer(t)
+	tr := &refusingTransport{failures: 1, base: ts.Client().Transport}
+	client := &http.Client{Transport: tr}
+
+	res := oneJob(client, ts.URL, []byte(`{}`), clk.Now().Add(time.Hour), 0)
+	if res.err == nil {
+		t.Fatal("oneJob succeeded, want immediate failure with retries disabled")
+	}
+	if got := tr.posts.Load(); got != 1 {
+		t.Fatalf("POST attempts = %d, want 1", got)
+	}
+}
+
+func TestConnectBackoffBounds(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for i := 0; i < 50; i++ {
+			d := connectBackoff(n)
+			if d <= 0 {
+				t.Fatalf("connectBackoff(%d) = %v, want > 0", n, d)
+			}
+			if d > 2*time.Second {
+				t.Fatalf("connectBackoff(%d) = %v, want <= 2s", n, d)
+			}
+		}
+	}
+}

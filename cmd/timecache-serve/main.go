@@ -10,7 +10,8 @@
 // schema):
 //
 //	POST   /v1/jobs             submit a job (202; 429+Retry-After when full)
-//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs             list jobs (?limit=&after= paginate)
+//	POST   /v1/store/compact    compact the durable job log (404 if -store-dir unset)
 //	GET    /v1/jobs/{id}        job status
 //	DELETE /v1/jobs/{id}        cancel (stops a running simulation mid-slice)
 //	GET    /v1/jobs/{id}/events progress stream (SSE)
@@ -28,6 +29,20 @@
 // run, and every POST /v1/jobs response reports its disposition in the
 // X-Timecache-Cache header (hit, miss, coalesced, or bypass — jobs can opt
 // out per-submission with "no_cache": true).
+//
+// With -store-dir the daemon journals every job to a write-ahead log and
+// replays it on restart: finished jobs come back byte-identical (results,
+// SSE history, cache seeds), interrupted jobs resume at their first
+// unfinished sweep leg. -fsync picks the durability/throughput trade,
+// -store-retain bounds how many finished jobs compaction keeps, and
+// POST /v1/store/compact rewrites the log on demand.
+//
+// The daemon is also its own worker fleet: -worker turns the process into a
+// stateless leg executor serving POST /v1/legs (plus /healthz), and
+// -worker-addrs points a coordinator at such daemons — legs are leased out
+// remotely instead of (or in addition to) the in-process -workers, with
+// -lease bounding each leg. -quota-burst/-quota-rate cap per-tenant
+// admission.
 //
 // Structured logs (one line per admission decision, state transition,
 // cancellation, timeout, and drain step) go to stderr in text or JSON form
@@ -50,10 +65,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"timecache/internal/clock"
+	"timecache/internal/jobstore"
 	"timecache/internal/resultcache"
 	"timecache/internal/server"
 )
@@ -61,7 +78,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "job executors (one pooled machine set each)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "in-process leg executors (one pooled machine set each)")
 		queue      = flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
 		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline (0 = unbounded; jobs may set timeout_ms)")
 		drainGrace = flag.Duration("drain-grace", 2*time.Minute, "how long a graceful drain may wait for in-flight jobs")
@@ -70,6 +87,16 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		cacheEnts  = flag.Int("cache-entries", 512, "result-cache capacity in entries (0 disables the cache)")
 		cacheBytes = flag.Int64("cache-bytes", 256<<20, "result-cache capacity in accounted bytes (0 = unbounded)")
+
+		storeDir    = flag.String("store-dir", "", "durable job-store directory (empty = in-memory only, no restart recovery)")
+		fsync       = flag.String("fsync", "always", "job-store sync policy: always (fsync per append) or none")
+		storeRetain = flag.Int("store-retain", 0, "terminal jobs compaction keeps in the store (0 = all)")
+
+		workerMode  = flag.Bool("worker", false, "run as a stateless leg-executor daemon (serves POST /v1/legs) instead of a coordinator")
+		workerAddrs = flag.String("worker-addrs", "", "comma-separated base URLs of remote -worker daemons to execute legs on")
+		lease       = flag.Duration("lease", 0, "per-leg lease; an executor overrunning it forfeits the leg (0 = no lease)")
+		quotaBurst  = flag.Float64("quota-burst", 0, "per-tenant admission token-bucket capacity (0 = quotas off)")
+		quotaRate   = flag.Float64("quota-rate", 1, "per-tenant token refill rate, tokens/second")
 	)
 	flag.Parse()
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -77,10 +104,80 @@ func main() {
 		fmt.Fprintln(os.Stderr, "timecache-serve:", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *debugAddr, *workers, *queue, *cacheEnts, *cacheBytes, *jobTimeout, *drainGrace, logger); err != nil {
+	if *workerMode {
+		if err := runWorker(*addr, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "timecache-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *jobTimeout,
+		Clock:          clock.Real{},
+		Logger:         logger,
+		StoreRetain:    *storeRetain,
+		LeaseTimeout:   *lease,
+		QuotaBurst:     *quotaBurst,
+		QuotaRate:      *quotaRate,
+	}
+	if *workerAddrs != "" {
+		for _, a := range strings.Split(*workerAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.WorkerAddrs = append(cfg.WorkerAddrs, strings.TrimSuffix(a, "/"))
+			}
+		}
+	}
+	if *storeDir != "" {
+		var policy jobstore.SyncPolicy
+		switch *fsync {
+		case "always":
+			policy = jobstore.SyncAlways
+		case "none":
+			policy = jobstore.SyncNone
+		default:
+			fmt.Fprintf(os.Stderr, "timecache-serve: -fsync %q: want always or none\n", *fsync)
+			os.Exit(2)
+		}
+		store, err := jobstore.Open(*storeDir, jobstore.DiskOptions{Sync: policy})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timecache-serve: open job store:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		cfg.Store = store
+	}
+	if err := run(*addr, *debugAddr, cfg, *cacheEnts, *cacheBytes, *drainGrace, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "timecache-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// runWorker serves the stateless leg-executor protocol until SIGTERM/SIGINT.
+// A worker holds no job state at all — killing one mid-leg only forfeits a
+// lease — so shutdown is immediate.
+func runWorker(addr string, logger *slog.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	h := server.NewWorker(server.WorkerConfig{Clock: clock.Real{}, Logger: logger})
+	httpSrv := &http.Server{Handler: h}
+	fmt.Printf("timecache-serve: worker mode, serving legs on %s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Info("worker signal received", "signal", sig.String())
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutCtx)
 }
 
 // buildLogger assembles the daemon's stderr logger from the flag values.
@@ -100,32 +197,28 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-func run(addr, debugAddr string, workers, queue, cacheEntries int, cacheBytes int64, jobTimeout, drainGrace time.Duration, logger *slog.Logger) error {
-	var rcache *resultcache.Cache
+func run(addr, debugAddr string, cfg server.Config, cacheEntries int, cacheBytes int64, drainGrace time.Duration, logger *slog.Logger) error {
 	cacheDesc := "off"
 	if cacheEntries > 0 {
-		rcache = resultcache.New(
+		cfg.Cache = resultcache.New(
 			resultcache.WithMaxEntries(cacheEntries),
 			resultcache.WithMaxBytes(cacheBytes),
 		)
 		cacheDesc = fmt.Sprintf("%d entries / %d MiB", cacheEntries, cacheBytes>>20)
 	}
-	srv := server.New(server.Config{
-		Workers:        workers,
-		QueueDepth:     queue,
-		DefaultTimeout: jobTimeout,
-		Clock:          clock.Real{},
-		Logger:         logger,
-		Cache:          rcache,
-	})
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("timecache-serve: listening on %s (%d workers, queue %d, cache %s)\n",
-		ln.Addr(), workers, queue, cacheDesc)
+	storeDesc := "off"
+	if cfg.Store != nil {
+		storeDesc = "on"
+	}
+	fmt.Printf("timecache-serve: listening on %s (%d workers, %d remote, queue %d, cache %s, store %s)\n",
+		ln.Addr(), cfg.Workers, len(cfg.WorkerAddrs), cfg.QueueDepth, cacheDesc, storeDesc)
 
 	if debugAddr != "" {
 		dln, err := net.Listen("tcp", debugAddr)

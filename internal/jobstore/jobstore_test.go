@@ -1,0 +1,342 @@
+package jobstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func rec(kind Kind, id, payload string) Record {
+	return Record{Kind: kind, JobID: id, Payload: []byte(payload)}
+}
+
+// collect replays the store into a slice.
+func collect(t *testing.T, s Store) []Record {
+	t.Helper()
+	var out []Record
+	if err := s.Replay(func(r Record) error { out = append(out, r); return nil }); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range []Record{
+		rec(KindAccepted, "job-000001", `{"experiment":"table2"}`),
+		rec(KindState, "job-000001", `{"state":"running"}`),
+		rec(KindEvent, "job-000001", ""),
+		rec(KindLeg, "j", strings.Repeat("x", 10_000)),
+		rec(KindResult, "", `{}`),
+	} {
+		body, err := r.Encode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", r.Kind, err)
+		}
+		got, err := Decode(body)
+		if err != nil {
+			t.Fatalf("decode %v: %v", r.Kind, err)
+		}
+		want := r
+		want.Version = RecordVersion
+		if len(want.Payload) == 0 {
+			want.Payload = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %v: got %+v want %+v", r.Kind, got, want)
+		}
+	}
+}
+
+func TestRecordRejects(t *testing.T) {
+	if _, err := (Record{JobID: "x"}).Encode(); err == nil {
+		t.Error("encode with no kind succeeded")
+	}
+	if _, err := (Record{Kind: KindState, JobID: strings.Repeat("a", maxIDLen+1)}).Encode(); err == nil {
+		t.Error("encode with oversized id succeeded")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("decode of empty body succeeded")
+	}
+	if _, err := Decode([]byte{99, byte(KindState), 0, 0}); err == nil {
+		t.Error("decode of future version succeeded")
+	}
+	if _, err := Decode([]byte{RecordVersion, 77, 0, 0}); err == nil {
+		t.Error("decode of unknown kind succeeded")
+	}
+	// id length field overrunning the body must error, not slice out of range.
+	if _, err := Decode([]byte{RecordVersion, byte(KindState), 0xff, 0xff}); err == nil {
+		t.Error("decode with overrunning id length succeeded")
+	}
+}
+
+func TestFrameCRC(t *testing.T) {
+	body, _ := rec(KindState, "job-1", "payload").Encode()
+	framed := AppendFrame(nil, body)
+
+	got, n, err := ReadFrame(framed)
+	if err != nil || n != len(framed) {
+		t.Fatalf("ReadFrame: n=%d err=%v", n, err)
+	}
+	if string(got) != string(body) {
+		t.Fatal("frame body mismatch")
+	}
+	// Flip one payload byte: CRC must catch it.
+	bad := append([]byte(nil), framed...)
+	bad[len(bad)-1] ^= 0x01
+	if _, _, err := ReadFrame(bad); err == nil || IsTruncated(err) {
+		t.Errorf("corrupt frame: got %v, want hard corruption error", err)
+	}
+	// Every strict prefix is truncated, never corrupt, never a panic.
+	for cut := 0; cut < len(framed); cut++ {
+		if _, _, err := ReadFrame(framed[:cut]); !IsTruncated(err) {
+			t.Fatalf("prefix %d: got %v, want truncated", cut, err)
+		}
+	}
+	// Absurd length field is corruption, not an allocation attempt.
+	huge := binary.BigEndian.AppendUint32(nil, maxRecordLen+1)
+	huge = append(huge, 0, 0, 0, 0)
+	if _, _, err := ReadFrame(huge); err == nil || IsTruncated(err) {
+		t.Errorf("oversized frame: got %v, want hard corruption error", err)
+	}
+}
+
+func TestMemFreeze(t *testing.T) {
+	m := NewMem()
+	for i := 0; i < 3; i++ {
+		if err := m.Append(rec(KindState, fmt.Sprintf("job-%d", i), "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Freeze()
+	if err := m.Append(rec(KindState, "job-lost", "b")); err != nil {
+		t.Fatalf("append after freeze errored: %v", err)
+	}
+	got := collect(t, m)
+	if len(got) != 3 {
+		t.Fatalf("replay after freeze: %d records, want 3", len(got))
+	}
+	for _, r := range got {
+		if r.JobID == "job-lost" {
+			t.Fatal("frozen append survived")
+		}
+	}
+}
+
+func TestMemCompact(t *testing.T) {
+	m := NewMem()
+	for i := 0; i < 10; i++ {
+		kind := KindEvent
+		if i%2 == 0 {
+			kind = KindLeg
+		}
+		if err := m.Append(rec(kind, "job-1", "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Compact(func(r Record) bool { return r.Kind == KindEvent }); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, m)
+	if len(got) != 5 {
+		t.Fatalf("compacted to %d records, want 5", len(got))
+	}
+	st := m.Stats()
+	if st.Records != 5 || st.Compactions != 1 {
+		t.Errorf("stats after compact: %+v", st)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, DiskOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 100; i++ {
+		r := rec(KindEvent, fmt.Sprintf("job-%06d", i%7), fmt.Sprintf(`{"seq":%d}`, i))
+		r.Version = RecordVersion
+		want = append(want, r)
+		if err := d.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := collect(t, d2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch: %d records vs %d", len(got), len(want))
+	}
+	st := d2.Stats()
+	if st.Records != 100 {
+		t.Errorf("Records = %d, want 100", st.Records)
+	}
+}
+
+func TestDiskSegmentRoll(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, DiskOptions{Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := d.Append(rec(KindEvent, "job-1", strings.Repeat("p", 64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("Segments = %d, want >= 2 after rolling", st.Segments)
+	}
+	d.Close()
+
+	d2, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := len(collect(t, d2)); got != 50 {
+		t.Fatalf("replay across segments: %d records, want 50", got)
+	}
+}
+
+func TestDiskTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, DiskOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Append(rec(KindState, "job-1", "complete")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+
+	// Chop mid-frame: the last record loses its final byte.
+	seg := filepath.Join(dir, "wal-000000.log")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if got := len(collect(t, d2)); got != 4 {
+		t.Fatalf("replay after torn tail: %d records, want 4", got)
+	}
+	// The tail was repaired, so appends continue cleanly.
+	if err := d2.Append(rec(KindState, "job-2", "after-crash")); err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+	d3, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if got := len(collect(t, d3)); got != 5 {
+		t.Fatalf("replay after repair+append: %d records, want 5", got)
+	}
+}
+
+func TestDiskCorruptMiddleRejected(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, DiskOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Append(rec(KindState, "job-1", "complete")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+
+	// Flip a byte in the middle of the segment: hard corruption, Open fails.
+	seg := filepath.Join(dir, "wal-000000.log")
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, DiskOptions{}); err == nil {
+		t.Fatal("open of mid-corrupt log succeeded")
+	}
+}
+
+func TestDiskCompact(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, DiskOptions{Sync: SyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		id := "job-dead"
+		if i%4 == 0 {
+			id = "job-live"
+		}
+		if err := d.Append(rec(KindEvent, id, strings.Repeat("e", 48))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Compact(func(r Record) bool { return r.JobID == "job-live" }); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Records != 10 || st.Segments != 1 || st.Compactions != 1 {
+		t.Fatalf("stats after compact: %+v", st)
+	}
+	// Appends keep working post-compaction and everything survives reopen.
+	if err := d.Append(rec(KindState, "job-live", "done")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d2, err := Open(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := collect(t, d2)
+	if len(got) != 11 {
+		t.Fatalf("replay after compact: %d records, want 11", len(got))
+	}
+	for _, r := range got {
+		if r.JobID != "job-live" {
+			t.Fatalf("dead record survived compaction: %+v", r)
+		}
+	}
+}
+
+func TestDiskAppendAfterClose(t *testing.T) {
+	d, err := Open(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if err := d.Append(rec(KindState, "job-1", "x")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if d.Stats().AppendErrors != 1 {
+		t.Errorf("AppendErrors = %d, want 1", d.Stats().AppendErrors)
+	}
+}

@@ -181,6 +181,16 @@ func (c *Cache) Complete(f *Flight, e *Entry, err error) {
 // Lookup reads the store without admission bookkeeping (no counters move).
 func (c *Cache) Lookup(key string) (*Entry, bool) { return c.store.Get(key) }
 
+// Seed installs an entry without moving any admission counters. Used when a
+// coordinator replays its durable log after a restart: the re-populated
+// results should serve future hits, but replay itself is neither a hit nor
+// a miss and must not distort the cache statistics.
+func (c *Cache) Seed(e *Entry) {
+	if e != nil && e.Key != "" {
+		c.store.Put(e.Key, e)
+	}
+}
+
 // Purge drops every cached entry, returning how many were removed.
 // In-flight simulations are not interrupted; they re-publish on completion.
 func (c *Cache) Purge() int { return c.store.Purge() }

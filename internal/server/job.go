@@ -70,6 +70,32 @@ type Spec struct {
 	// simulates, and its result is not stored. Use it to force a fresh run
 	// (e.g. when profiling the simulator itself).
 	NoCache bool `json:"no_cache,omitempty"`
+
+	// Tenant names the submitting tenant for per-tenant admission quotas
+	// (empty means "default"). Free-form; excluded from the cache key, so
+	// tenants share cached results.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority selects the admission class: "high" jobs are scheduled
+	// strictly before "normal" ones (empty means "normal"). Excluded from
+	// the cache key.
+	Priority string `json:"priority,omitempty"`
+}
+
+// priorityClass maps the wire priority to a scheduler queue index.
+// validate has already rejected anything else.
+func (s Spec) priorityClass() int {
+	if s.Priority == "high" {
+		return priorityHigh
+	}
+	return priorityNormal
+}
+
+// tenant returns the quota bucket name.
+func (s Spec) tenant() string {
+	if s.Tenant == "" {
+		return "default"
+	}
+	return s.Tenant
 }
 
 // harnessJob translates the selection half of the spec.
@@ -125,6 +151,11 @@ func (s Spec) validate() error {
 	}
 	if s.AttackBits < 0 {
 		return fmt.Errorf("attack_bits must be >= 0, got %d", s.AttackBits)
+	}
+	switch s.Priority {
+	case "", "normal", "high":
+	default:
+		return fmt.Errorf("priority must be \"normal\" or \"high\", got %q", s.Priority)
 	}
 	return s.harnessJob().Validate()
 }
@@ -189,7 +220,13 @@ type Status struct {
 	Error      string `json:"error,omitempty"`
 	// Cache is the submission's result-cache disposition ("hit", "miss",
 	// "coalesced", "bypass"); empty when the server runs without a cache.
-	Cache    string     `json:"cache,omitempty"`
+	Cache string `json:"cache,omitempty"`
+	// Tenant and Priority echo the spec's admission fields (defaults
+	// resolved). Attempt counts leg re-executions after lease expiry or a
+	// retryable worker failure — 0 for a job that never lost a leg.
+	Tenant   string     `json:"tenant"`
+	Priority string     `json:"priority"`
+	Attempt  int        `json:"attempt"`
 	Done     int        `json:"progress_done"`
 	Total    int        `json:"progress_total"`
 	Created  time.Time  `json:"created"`
@@ -223,6 +260,18 @@ type JobResources struct {
 	SnapshotMisses uint64 `json:"snapshot_misses"`
 }
 
+// add sums two resource accounts field-wise (legs of one job accumulate
+// into the job total).
+func (r JobResources) add(o JobResources) JobResources {
+	r.Resources = r.Resources.Add(o.Resources)
+	r.PoolHits += o.PoolHits
+	r.PoolMisses += o.PoolMisses
+	r.PoolEvictions += o.PoolEvictions
+	r.SnapshotHits += o.SnapshotHits
+	r.SnapshotMisses += o.SnapshotMisses
+	return r
+}
+
 // job is the server-side job record. The mutex guards every mutable field;
 // done is closed exactly once, when the job reaches a terminal state. Each
 // job carries its own span recorder (served raw by /v1/jobs/{id}/trace) and
@@ -247,6 +296,15 @@ type job struct {
 	// constants); written before registration, immutable after.
 	cacheDisp string
 
+	// priority is the scheduler queue index (priorityHigh/priorityNormal);
+	// written once at creation. inQueue is guarded by the scheduler's mutex
+	// (the job is in its priority queue at most once). hasSlot is guarded by
+	// the server's mutex: true while the job holds an admission-queue slot
+	// (from acceptance until its first leg starts or it dies queued).
+	priority int
+	inQueue  bool
+	hasSlot  bool
+
 	mu        sync.Mutex
 	state     State
 	errMsg    string
@@ -259,18 +317,94 @@ type job struct {
 	finished  time.Time
 	resources *JobResources
 
+	// legs is the job's leg scoreboard (initLegs sizes it from
+	// harness.JobLegs before the job is scheduled). legsDone counts legDone
+	// entries; attempt counts re-executions (lease expiry, worker retry);
+	// wasRunning records that markRunning ran, so finalize knows whether to
+	// decrement the running gauge.
+	legs       []legState
+	legsDone   int
+	attempt    int
+	wasRunning bool
+
 	events *eventLog
 	doneCh chan struct{}
 }
 
+// legStatus is one leg's scheduling state.
+type legStatus uint8
+
+const (
+	legPending legStatus = iota // wants an executor
+	legLeased                   // claimed by an executor, lease live
+	legDone                     // completed; table and res recorded
+)
+
+// legState is one entry of the job's leg scoreboard, guarded by job.mu.
+// epoch fences stale executors: a lease expiry bumps it, and a completion
+// or error carrying an older epoch is discarded — the leg has already been
+// handed to someone else.
+type legState struct {
+	status legStatus
+	epoch  uint64
+	table  *stats.Table
+	res    JobResources
+}
+
+// initLegs sizes the leg scoreboard for an n-leg job.
+func (j *job) initLegs(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.legs = make([]legState, n)
+}
+
+// claimLeg hands out the first pending leg. more reports whether further
+// pending legs remain after this claim (the scheduler keeps the job queued
+// if so). Called with the scheduler's mutex held; takes job.mu (lock order:
+// sched.mu → job.mu).
+func (j *job) claimLeg() (leg int, epoch uint64, more, claimed bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return 0, 0, false, false
+	}
+	for i := range j.legs {
+		if j.legs[i].status != legPending {
+			continue
+		}
+		if !claimed {
+			j.legs[i].status = legLeased
+			leg, epoch, claimed = i, j.legs[i].epoch, true
+		} else {
+			more = true
+			break
+		}
+	}
+	return leg, epoch, more, claimed
+}
+
+// progress records inner (within-leg) progress and mirrors it to the SSE
+// stream and any result-cache followers. Only single-leg jobs wire this
+// through; multi-leg jobs report at leg granularity via completeLeg.
+func (j *job) progress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.mu.Unlock()
+	j.events.publish("progress", mustJSON(map[string]int{"done": done, "total": total}))
+	if j.flight != nil {
+		j.flight.Progress(done, total)
+	}
+}
+
 func newJob(id string, spec Spec, now time.Time) *job {
 	return &job{
-		id:      id,
-		spec:    spec,
-		state:   StateQueued,
-		created: now,
-		events:  newEventLog(),
-		doneCh:  make(chan struct{}),
+		id:       id,
+		spec:     spec,
+		state:    StateQueued,
+		priority: spec.priorityClass(),
+		created:  now,
+		events:   newEventLog(),
+		doneCh:   make(chan struct{}),
 	}
 }
 
@@ -297,6 +431,9 @@ func (j *job) statusLocked() Status {
 		Experiment: j.spec.Experiment,
 		Error:      j.errMsg,
 		Cache:      j.cacheDisp,
+		Tenant:     j.spec.tenant(),
+		Priority:   [priorityLevels]string{"high", "normal"}[j.priority],
+		Attempt:    j.attempt,
 		Done:       j.done,
 		Total:      j.total,
 		Created:    j.created,
@@ -341,6 +478,10 @@ type eventLog struct {
 	hist   []event
 	subs   map[chan event]struct{}
 	closed bool
+	// persist, when set, journals each published event to the durable job
+	// store (under mu, so the log order and the durable order agree). Events
+	// seeded from a replay bypass it — they are already durable.
+	persist func(ev event)
 }
 
 func newEventLog() *eventLog {
@@ -359,6 +500,9 @@ func (l *eventLog) publish(name string, data []byte) {
 	}
 	ev := event{name: name, data: data}
 	l.hist = append(l.hist, ev)
+	if l.persist != nil {
+		l.persist(ev)
+	}
 	for ch := range l.subs {
 		select {
 		case ch <- ev:
@@ -367,6 +511,14 @@ func (l *eventLog) publish(name string, data []byte) {
 			close(ch)
 		}
 	}
+}
+
+// seed installs replayed history without re-persisting or fanning out.
+// Called only during log replay, before the job is visible to subscribers.
+func (l *eventLog) seed(evs []event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hist = append(l.hist, evs...)
 }
 
 // close ends the stream: no further events are accepted and every

@@ -41,6 +41,24 @@ type metrics struct {
 	// server counts them here.
 	cacheBypass atomic.Uint64
 
+	// Coordinator counters: per-tenant quota rejections and the leg
+	// scheduling machinery (completions, channel-failure retries, lease
+	// expiries).
+	quotaRejected atomic.Uint64
+	legsCompleted atomic.Uint64
+	legRetries    atomic.Uint64
+	leasesExpired atomic.Uint64
+
+	// Job-store state. The gauges mirror Store.Stats at scrape time (set by
+	// handleMetrics); replayedJobs counts jobs reconstructed from the log at
+	// startup.
+	replayedJobs      atomic.Uint64
+	storeRecords      atomic.Int64
+	storeBytes        atomic.Int64
+	storeSegments     atomic.Int64
+	storeCompactions  atomic.Uint64
+	storeAppendErrors atomic.Uint64
+
 	mu           sync.Mutex
 	finished     map[State]int64
 	duration     telemetry.Histogram // job wall time, milliseconds, all jobs
@@ -130,6 +148,17 @@ func (m *metrics) render(cs resultcache.Stats) string {
 	counter("timecache_result_cache_bypass_total", "Submissions that bypassed the result cache (no_cache).", m.cacheBypass.Load())
 	gauge("timecache_result_cache_entries", "Result-cache entries currently resident.", int64(cs.Entries))
 	gauge("timecache_result_cache_bytes", "Accounted bytes currently resident in the result cache.", cs.Bytes)
+
+	counter("timecache_quota_rejected_total", "Submissions rejected by a per-tenant token quota.", m.quotaRejected.Load())
+	counter("timecache_legs_completed_total", "Sweep legs completed by executors (across retries).", m.legsCompleted.Load())
+	counter("timecache_leg_retries_total", "Leg re-leases after a retryable executor failure.", m.legRetries.Load())
+	counter("timecache_leases_expired_total", "Leg leases that timed out and were re-queued.", m.leasesExpired.Load())
+	counter("timecache_jobstore_replayed_jobs_total", "Jobs reconstructed from the write-ahead log at startup.", m.replayedJobs.Load())
+	gauge("timecache_jobstore_records", "Live records in the job store.", m.storeRecords.Load())
+	gauge("timecache_jobstore_bytes", "Framed bytes in the job store.", m.storeBytes.Load())
+	gauge("timecache_jobstore_segments", "Log segments in the job store.", m.storeSegments.Load())
+	counter("timecache_jobstore_compactions_total", "Job-store compactions performed.", m.storeCompactions.Load())
+	counter("timecache_jobstore_append_errors_total", "Job-store appends that failed (job proceeded without durability).", m.storeAppendErrors.Load())
 
 	counter("timecache_job_legs_total", "Machine runs (experiment legs) dispatched by finished jobs.", res.Legs)
 	counter("timecache_sim_cycles_total", "Simulated cycles executed by finished jobs.", res.SimCycles)

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"timecache/internal/clock"
+)
+
+// quotas is the per-tenant admission rate limiter: one lazily-refilled token
+// bucket per tenant, all reading the injected clock so quota tests advance a
+// clock.Fake instead of sleeping. No timers run — each admission attempt
+// refills the caller's bucket from the elapsed time since its last visit.
+type quotas struct {
+	rate  float64 // tokens per second
+	burst float64
+	clk   clock.WallClock
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate, burst float64, clk clock.WallClock) *quotas {
+	return &quotas{rate: rate, burst: burst, clk: clk, buckets: map[string]*bucket{}}
+}
+
+// admit spends one token from the tenant's bucket. On refusal it returns the
+// whole seconds until a token will have accrued, for the Retry-After header.
+func (q *quotas) admit(tenant string) (ok bool, retryAfter int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.clk.Now()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(q.burst, b.tokens+q.rate*dt)
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if q.rate <= 0 {
+		return false, 1
+	}
+	wait := (1 - b.tokens) / q.rate
+	return false, int(math.Max(1, math.Ceil(wait)))
+}

@@ -6,17 +6,36 @@
 // content-addressed result cache (internal/resultcache: repeat specs are
 // answered without simulating, and concurrent identical specs coalesce onto
 // one run — the X-Timecache-Cache header reports each submission's
-// disposition), admitted into a bounded queue, and executed by a fixed
-// worker pool — one machine.Pool per
-// worker, so hot simulator state is reused across jobs exactly like the
-// batch sweeps reuse it across legs, and results remain byte-identical to
-// the CLIs and the golden artifacts (the dispatch layer in internal/harness
-// is shared). When the queue is full the server answers 429 with
-// Retry-After instead of buffering unboundedly; when draining it answers
-// 503. Progress streams over SSE from GET /v1/jobs/{id}/events; results are
-// retrievable as CSV, markdown, or JSON. DELETE /v1/jobs/{id} cancels a job
-// mid-run: the per-job context interrupts the simulated machine within a
-// few thousand instructions.
+// disposition), checked against optional per-tenant token quotas, and
+// admitted into a bounded two-class priority queue ("high" before
+// "normal", FIFO within a class).
+//
+// Execution is coordinator/worker: the coordinator splits each job into
+// its independent sweep legs (harness.JobLegs), leases legs to executors
+// with a lease timeout and bounded retries, and reassembles the per-leg
+// tables positionally (harness.MergeLegTables) so the merged result is
+// byte-identical to a single-process run. Executors are in-process by
+// default (-workers goroutines, one machine.Pool each, so hot simulator
+// state is reused across legs exactly like the batch sweeps) or remote
+// worker daemons (timecache-serve -worker) speaking the /v1/legs
+// HTTP/JSON protocol; determinism makes the two interchangeable mid-job.
+//
+// With a jobstore.Store configured, every admission, state transition,
+// SSE event, completed leg, and final result is appended to a
+// write-ahead log before it is acknowledged. On restart the coordinator
+// replays the log: terminal jobs come back with their exact result bytes
+// and full event history, interrupted jobs resume at their first
+// unfinished leg, and queued jobs re-enter the queue — clients polling a
+// job ID across a crash observe the same bytes they would have without
+// it. POST /v1/store/compact rewrites the log, keeping terminal jobs'
+// result records and dropping replayed-over intermediate state.
+//
+// When the queue is full the server answers 429 with Retry-After instead
+// of buffering unboundedly; when draining it answers 503. Progress
+// streams over SSE from GET /v1/jobs/{id}/events; results are
+// retrievable as CSV, markdown, or JSON. DELETE /v1/jobs/{id} cancels a
+// job mid-run: the per-job context interrupts the simulated machine
+// within a few thousand instructions.
 //
 // Every job is observable end to end: the server records a wall-clock span
 // for each lifecycle stage (validate → enqueue → queue-wait → run → render)
@@ -46,8 +65,9 @@ import (
 
 	"timecache/internal/clock"
 	"timecache/internal/harness"
-	"timecache/internal/machine"
+	"timecache/internal/jobstore"
 	"timecache/internal/resultcache"
+	"timecache/internal/stats"
 	"timecache/internal/telemetry"
 )
 
@@ -88,6 +108,43 @@ type Config struct {
 	// cache endpoints report disabled. The timecache-serve CLI enables it
 	// by default (-cache-entries / -cache-bytes).
 	Cache *resultcache.Cache
+
+	// Store, when non-nil, is the durable write-ahead job log. Every
+	// acceptance, SSE event, completed leg, and terminal result is journaled
+	// to it, and New replays it: finished jobs come back read-only (their
+	// results re-seed the cache), interrupted jobs resume at their first
+	// unfinished leg. Nil keeps all job state in memory (the pre-store
+	// behavior). The timecache-serve CLI wires a disk store via -store-dir.
+	Store jobstore.Store
+	// StoreRetain bounds how many terminal jobs compaction keeps in the log
+	// (and the in-memory job table). Zero retains everything.
+	StoreRetain int
+
+	// WorkerAddrs lists remote leg-executor workers (timecache-serve
+	// -worker daemons) by base URL. Each address gets one executor loop in
+	// addition to the Workers in-process executors; legs are interchangeable
+	// between them because rendering is deterministic.
+	WorkerAddrs []string
+	// LeaseTimeout bounds one leg execution. An executor that has not
+	// completed its leg within the lease loses it: the leg is re-queued for
+	// another executor and the stale run's eventual outcome is discarded.
+	// Zero disables leases (a leg runs as long as the job's deadline
+	// allows).
+	LeaseTimeout time.Duration
+	// MaxLegAttempts bounds how many times one leg may be dispatched when
+	// executors fail retryably (worker unreachable, 5xx). Zero defaults
+	// to 3. Deterministic simulation errors are never retried.
+	MaxLegAttempts int
+	// RetryBackoff is the delay before a retryable leg failure re-queues
+	// (on the injected clock). Zero defaults to 250ms.
+	RetryBackoff time.Duration
+
+	// QuotaBurst enables per-tenant admission quotas when positive: each
+	// tenant holds a token bucket of this capacity, refilled at QuotaRate
+	// tokens/second, and a submission with no token is rejected 429.
+	QuotaBurst float64
+	// QuotaRate is the per-tenant bucket refill rate in tokens/second.
+	QuotaRate float64
 }
 
 func (c Config) queueDepth() int {
@@ -104,24 +161,46 @@ func (c Config) retryAfter() int {
 	return 1
 }
 
+func (c Config) maxLegAttempts() int {
+	if c.MaxLegAttempts > 0 {
+		return c.MaxLegAttempts
+	}
+	return 3
+}
+
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 250 * time.Millisecond
+}
+
 // Cancellation causes, distinguished from deadline expiry via
 // context.Cause: a client cancel or a drain hard-stop lands the job in
 // StateCancelled; a deadline (and any run error) is StateFailed.
 var (
 	errClientCancel = errors.New("cancelled by client")
 	errDrainStop    = errors.New("cancelled by server drain")
+	// errLeaseExpired interrupts a leg run whose lease the coordinator
+	// revoked; the job itself continues on another executor.
+	errLeaseExpired = errors.New("leg lease expired")
 )
 
-// Server is the job service. Create with New, mount via Handler, stop with
-// Drain. The zero value is not usable.
+// Server is the coordinator of the job service: it owns admission (quota,
+// priority, backpressure), the durable log, lease-based leg scheduling, and
+// positional result merging. Leg execution is delegated to executors —
+// in-process goroutines and/or remote worker daemons. Create with New,
+// mount via Handler, stop with Drain. The zero value is not usable.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue chan *job
+	cfg    Config
+	mux    *http.ServeMux
+	sched  *sched
+	quotas *quotas // nil when per-tenant quotas are disabled
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // job IDs in submission order, for GET /v1/jobs
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job IDs in submission order, for GET /v1/jobs
+	queued int      // jobs holding admission-queue slots (accepted, not yet running)
 
 	nextID    atomic.Uint64
 	running   atomic.Int64
@@ -150,11 +229,14 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		queue:   make(chan *job, cfg.queueDepth()),
+		sched:   newSched(),
 		jobs:    map[string]*job{},
 		metrics: newMetrics(),
 		clk:     clk,
 		log:     logger,
+	}
+	if cfg.QuotaBurst > 0 {
+		s.quotas = newQuotas(cfg.QuotaRate, cfg.QuotaBurst, clk)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -170,11 +252,28 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
 	s.mux.HandleFunc("DELETE /v1/cache", s.handleCachePurge)
+	s.mux.HandleFunc("POST /v1/store/compact", s.handleStoreCompact)
+
+	// Replay the durable log before any executor starts: reconstruction is
+	// single-threaded, and resumed jobs are already queued when the first
+	// executor wakes. Startup compaction then drops the dead weight the
+	// previous process accumulated.
+	s.replay()
+	if cfg.Store != nil {
+		if _, err := s.compactStore(); err != nil {
+			s.log.Warn("startup compaction failed", "error", err)
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
-		go s.worker()
+		go s.executorLoop(newInProcExecutor(s))
 	}
-	s.log.Info("server started", "workers", cfg.Workers, "queue_depth", cfg.queueDepth())
+	for _, addr := range cfg.WorkerAddrs {
+		s.workers.Add(1)
+		go s.executorLoop(newRemoteExecutor(addr))
+	}
+	s.log.Info("server started", "workers", cfg.Workers, "remote_workers", len(cfg.WorkerAddrs),
+		"queue_depth", cfg.queueDepth(), "store", cfg.Store != nil)
 	return s
 }
 
@@ -191,8 +290,8 @@ func (s *Server) now() time.Time { return s.clk.Now() }
 // ctx.Err() after the workers unwind.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	s.log.Info("drain started", "queued", len(s.queue), "running", s.running.Load())
-	s.closeOnce.Do(func() { close(s.queue) })
+	s.log.Info("drain started", "queued", s.queuedCount(), "running", s.running.Load())
+	s.closeOnce.Do(func() { s.sched.close() })
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
@@ -236,78 +335,236 @@ func (s *Server) DrainWithGrace(grace time.Duration) error {
 	return s.Drain(ctx)
 }
 
-// worker executes queued jobs until the queue closes. Each worker owns one
-// machine pool; pooled machines are Reset between jobs, which the golden
-// tests prove is invisible in the results.
-func (s *Server) worker() {
+// executorLoop pulls claimed legs from the scheduler until it closes and the
+// backlog drains. Every executor — in-process or remote — runs this same
+// loop; the scheduler hands the legs of one job to as many idle executors as
+// exist, in leg order.
+func (s *Server) executorLoop(ex legExecutor) {
 	defer s.workers.Done()
-	pool := machine.NewPool()
-	for j := range s.queue {
-		s.runJob(j, pool)
+	for {
+		j, leg, epoch, ok := s.sched.next()
+		if !ok {
+			return
+		}
+		s.runLeg(j, leg, epoch, ex)
 	}
 }
 
-// runJob drives one job from queued to a terminal state, recording the
-// queue-wait / run / render lifecycle spans and the job's resource account
-// along the way.
-func (s *Server) runJob(j *job, pool *machine.Pool) {
+// queuedCount reports how many jobs hold admission-queue slots.
+func (s *Server) queuedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// releaseQueueSlot frees the job's admission slot exactly once (first leg
+// start, or death while queued). Must not be called holding j.mu.
+func (s *Server) releaseQueueSlot(j *job) {
+	s.mu.Lock()
+	if j.hasSlot {
+		j.hasSlot = false
+		s.queued--
+	}
+	s.mu.Unlock()
+}
+
+// markRunning performs the queued→running transition the first time any leg
+// of the job starts; later legs find the job already running and no-op.
+func (s *Server) markRunning(j *job) {
 	j.mu.Lock()
-	if j.state != StateQueued { // cancelled while queued
+	if j.state != StateQueued {
 		j.mu.Unlock()
 		return
 	}
 	j.state = StateRunning
 	j.started = s.now()
+	j.wasRunning = true
 	started, enqueued := j.started, j.enqueued
 	j.mu.Unlock()
+	s.releaseQueueSlot(j)
 	s.running.Add(1)
 	s.metrics.jobsRunning.Store(s.running.Load())
 	j.trace.Lifecycle("queue-wait", enqueued, started, nil)
 	j.log.Info("job running", "queue_wait", started.Sub(enqueued))
+	s.persistState(j, StateRunning)
 	s.publishState(j)
+}
 
-	account := &harness.ResourceAccount{}
-	opts := j.spec.options()
-	opts.Ctx = j.ctx
-	opts.Pool = pool
-	opts.Spans = j.trace
-	opts.Now = s.clk.Now
-	opts.Account = account
-	opts.Progress = func(done, total int) {
-		j.mu.Lock()
-		j.done, j.total = done, total
+// runLeg drives one claimed leg: lease timer, execution, then completion or
+// the error path. The per-leg context lets a lease expiry interrupt the
+// stale run without touching the job's own context.
+func (s *Server) runLeg(j *job, leg int, epoch uint64, ex legExecutor) {
+	s.markRunning(j)
+	if j.ctx.Err() != nil {
+		// Cancelled or timed out while queued: nothing to execute.
+		s.finalize(j, context.Cause(j.ctx))
+		return
+	}
+	legCtx, cancelRun := context.WithCancelCause(j.ctx)
+	defer cancelRun(nil)
+	var lease clock.WallTimer
+	if s.cfg.LeaseTimeout > 0 {
+		lease = s.clk.AfterFunc(s.cfg.LeaseTimeout, func() {
+			s.expireLease(j, leg, epoch, cancelRun)
+		})
+	}
+	j.mu.Lock()
+	wire := len(j.legs) == 1 // single-leg jobs stream the harness's inner progress
+	j.mu.Unlock()
+	tab, res, wired, err := ex.runLeg(legCtx, j, leg, wire)
+	if lease != nil {
+		lease.Stop()
+	}
+	if err != nil {
+		s.legError(j, leg, epoch, err)
+		return
+	}
+	s.completeLeg(j, leg, epoch, tab, res, wired)
+}
+
+// expireLease revokes leg's lease if the same epoch still holds it: the leg
+// returns to pending under a new epoch (so the overrun executor's eventual
+// outcome is discarded as stale), the running executor is interrupted, and
+// the job re-enters the scheduler.
+func (s *Server) expireLease(j *job, leg int, epoch uint64, cancelRun context.CancelCauseFunc) {
+	j.mu.Lock()
+	if j.state.Terminal() || leg >= len(j.legs) {
 		j.mu.Unlock()
+		return
+	}
+	l := &j.legs[leg]
+	if l.status != legLeased || l.epoch != epoch {
+		j.mu.Unlock()
+		return
+	}
+	l.epoch++
+	l.status = legPending
+	j.attempt++
+	j.mu.Unlock()
+	s.metrics.leasesExpired.Add(1)
+	j.log.Warn("leg lease expired; re-queueing", "leg", leg, "lease", s.cfg.LeaseTimeout)
+	cancelRun(errLeaseExpired)
+	s.sched.enqueue(j)
+}
+
+// completeLeg records one leg's result. Stale completions (the lease was
+// revoked and the leg re-issued under a newer epoch) are discarded — the
+// replacement run's result stands, and determinism guarantees the bytes
+// would have been identical anyway. The last leg in triggers finalize.
+func (s *Server) completeLeg(j *job, leg int, epoch uint64, tab *stats.Table, res JobResources, wired bool) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	l := &j.legs[leg]
+	if l.status == legDone || l.epoch != epoch {
+		j.mu.Unlock()
+		return
+	}
+	l.status = legDone
+	l.table = tab
+	l.res = res
+	j.legsDone++
+	done, total := j.legsDone, len(j.legs)
+	if !wired {
+		j.done, j.total = done, total
+	}
+	j.mu.Unlock()
+	s.metrics.legsCompleted.Add(1)
+	s.persistLeg(j, leg, tab, res)
+	if !wired {
+		// Multi-leg jobs report progress at leg granularity; single-leg jobs
+		// already streamed the harness's finer-grained counts.
 		j.events.publish("progress", mustJSON(map[string]int{"done": done, "total": total}))
 		if j.flight != nil {
-			// Leader of a result-cache flight: mirror progress to every
-			// coalesced follower's SSE stream.
 			j.flight.Progress(done, total)
 		}
 	}
-
-	ps0 := pool.Stats()
-	tab, err := harness.RunJob(j.spec.harnessJob(), opts)
-	ps1 := pool.Stats()
-
-	runEnd := s.now()
-	res := JobResources{
-		Resources:      account.Snapshot(),
-		PoolHits:       ps1.Hits - ps0.Hits,
-		PoolMisses:     ps1.Misses - ps0.Misses,
-		PoolEvictions:  ps1.Evictions - ps0.Evictions,
-		SnapshotHits:   ps1.SnapshotHits - ps0.SnapshotHits,
-		SnapshotMisses: ps1.SnapshotMisses - ps0.SnapshotMisses,
+	if done == total {
+		s.finalize(j, nil)
 	}
-	j.trace.Lifecycle("run", started, runEnd, map[string]any{
-		"legs": res.Legs, "sim_cycles": res.SimCycles, "instructions": res.Instructions,
-	})
+}
 
-	finished := s.now()
+// legError handles a failed leg execution. Retryable failures (the execution
+// channel broke — worker unreachable, 5xx) re-queue the leg after a backoff,
+// up to MaxLegAttempts; anything else — including the job's own context
+// ending — finalizes the job.
+func (s *Server) legError(j *job, leg int, epoch uint64, err error) {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	l := &j.legs[leg]
+	if l.status != legLeased || l.epoch != epoch {
+		// The lease already expired and the leg was re-issued; this
+		// executor's failure is stale news.
+		j.mu.Unlock()
+		return
+	}
+	if j.ctx.Err() != nil {
+		j.mu.Unlock()
+		s.finalize(j, context.Cause(j.ctx))
+		return
+	}
+	if isRetryable(err) && !s.draining.Load() && int(l.epoch)+1 < s.cfg.maxLegAttempts() {
+		l.epoch++
+		l.status = legPending
+		j.attempt++
+		attempt := j.attempt
+		j.mu.Unlock()
+		s.metrics.legRetries.Add(1)
+		backoff := s.cfg.retryBackoff()
+		j.log.Warn("leg failed on retryable error; backing off",
+			"leg", leg, "attempt", attempt, "backoff", backoff, "error", err)
+		s.clk.AfterFunc(backoff, func() {
+			if s.draining.Load() {
+				// Executors may already be unwinding; a re-queued leg could
+				// strand the job non-terminal. Fail it explicitly instead.
+				s.finalize(j, fmt.Errorf("leg %d retry abandoned: server draining: %w", leg, err))
+				return
+			}
+			s.sched.enqueue(j)
+		})
+		return
+	}
+	j.mu.Unlock()
+	s.finalize(j, err)
+}
+
+// finalize drives the job to its terminal state exactly once: merge the leg
+// tables positionally, sum the per-leg resource accounts, resolve the
+// result-cache flight, persist the terminal record, close the SSE stream,
+// and settle the metrics. Safe to call from racing paths (last leg, cancel,
+// deadline, drain) — the first caller wins.
+func (s *Server) finalize(j *job, runErr error) {
+	runEnd := s.now()
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	started := j.started
+	if started.IsZero() {
+		started = runEnd
+	}
+	res := JobResources{}
+	parts := make([]*stats.Table, len(j.legs))
+	for i := range j.legs {
+		parts[i] = j.legs[i].table
+		res = res.add(j.legs[i].res)
+	}
+	var tab *stats.Table
+	var mergeErr error
+	if runErr == nil {
+		tab, mergeErr = harness.MergeLegTables(j.spec.harnessJob(), parts)
+	}
+	finished := s.now()
 	j.finished = finished
 	j.resources = &res
 	switch cause := context.Cause(j.ctx); {
-	case err == nil:
+	case runErr == nil && mergeErr == nil:
 		j.state = StateDone
 		j.table = tab
 	case errors.Is(cause, errClientCancel) || errors.Is(cause, errDrainStop):
@@ -316,13 +573,18 @@ func (s *Server) runJob(j *job, pool *machine.Pool) {
 	case errors.Is(cause, context.DeadlineExceeded):
 		j.state = StateFailed
 		j.errMsg = cause.Error()
+	case mergeErr != nil:
+		j.state = StateFailed
+		j.errMsg = mergeErr.Error()
 	default:
 		j.state = StateFailed
-		j.errMsg = err.Error()
+		j.errMsg = runErr.Error()
 	}
 	state, errMsg := j.state, j.errMsg
 	doneN, totalN := j.done, j.total
+	wasRunning := j.wasRunning
 	j.mu.Unlock()
+	s.releaseQueueSlot(j)
 
 	if j.flight != nil {
 		// Resolve the result-cache flight this job leads: publish the fully
@@ -342,15 +604,21 @@ func (s *Server) runJob(j *job, pool *machine.Pool) {
 		}
 	}
 
-	// The render stage finalizes the result (resource snapshot, terminal
-	// state). Its span closes the lifecycle, so the five stages tile the
-	// job's whole wall time from request arrival to finished.
+	// The run span covers every leg execution; the render stage merges the
+	// slices and finalizes the result. The five lifecycle stages still tile
+	// the job's whole wall time from request arrival to finished.
+	j.trace.Lifecycle("run", started, runEnd, map[string]any{
+		"legs": res.Legs, "sim_cycles": res.SimCycles, "instructions": res.Instructions,
+	})
 	j.trace.Lifecycle("render", runEnd, finished, nil)
+	s.persistResult(j)
 	s.publishState(j)
 	j.events.close()
 
-	s.running.Add(-1)
-	s.metrics.jobsRunning.Store(s.running.Load())
+	if wasRunning {
+		s.running.Add(-1)
+		s.metrics.jobsRunning.Store(s.running.Load())
+	}
 	s.metrics.finish(state, j.spec.Experiment, finished.Sub(started))
 	s.metrics.addJob(res)
 	log := j.log.With("state", state, "duration", finished.Sub(started),
@@ -395,13 +663,43 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.metrics.queueDepth.Store(int64(len(s.queue)))
+	s.metrics.queueDepth.Store(int64(s.queuedCount()))
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		s.metrics.storeRecords.Store(int64(st.Records))
+		s.metrics.storeBytes.Store(int64(st.Bytes))
+		s.metrics.storeSegments.Store(int64(st.Segments))
+		s.metrics.storeCompactions.Store(st.Compactions)
+		s.metrics.storeAppendErrors.Store(st.AppendErrors)
+	}
 	var cs resultcache.Stats
 	if s.cfg.Cache != nil {
 		cs = s.cfg.Cache.Stats()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(s.metrics.render(cs)))
+}
+
+// handleStoreCompact rewrites the write-ahead log in place, dropping
+// replayed-over intermediate records (and, with StoreRetain set, the oldest
+// terminal jobs beyond the retention bound). 404 when no store is
+// configured.
+func (s *Server) handleStoreCompact(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, errors.New("no job store configured"))
+		return
+	}
+	st, err := s.compactStore()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("compact job store: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records":     st.Records,
+		"bytes":       st.Bytes,
+		"segments":    st.Segments,
+		"compactions": st.Compactions,
+	})
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -425,6 +723,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := spec.validate(); err != nil {
 		s.log.Info("submit rejected: invalid spec", "experiment", spec.Experiment, "error", err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Per-tenant quota, checked after validation (malformed requests spend
+	// no tokens) and before cache admission (a tenant over quota does not
+	// get to lead or join flights).
+	if s.quotas != nil {
+		if ok, retry := s.quotas.admit(spec.tenant()); !ok {
+			s.metrics.quotaRejected.Add(1)
+			s.log.Info("submit rejected: tenant over quota", "tenant", spec.tenant())
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("tenant %q over admission quota; retry later", spec.tenant()))
+			return
+		}
+	}
+	legs, err := harness.JobLegs(spec.harnessJob())
+	if err != nil { // unreachable after validate; defensive
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -467,34 +783,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.TimeoutMS > 0 {
 		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithCancelCause(context.Background())
-	j.ctx, j.cancel = ctx, cancel
-	if timeout > 0 {
-		// The deadline is a clock timer, not context.WithDeadline, so a fake
-		// clock can expire it deterministically; context.Cause still reads
-		// DeadlineExceeded. The timer is released when the job finishes — or,
-		// for a job rejected at admission (whose doneCh never closes), when
-		// the rejection path cancels the context.
-		timer := s.clk.AfterFunc(timeout, func() {
-			cancel(context.DeadlineExceeded)
-			j.trace.Instant("deadline", s.now(), map[string]any{"timeout_ms": timeout.Milliseconds()})
-			j.log.Warn("job deadline expired", "timeout", timeout)
-		})
-		go func() {
-			select {
-			case <-j.doneCh:
-			case <-ctx.Done():
-			}
-			timer.Stop()
-		}()
-	}
-
-	s.mu.Lock()
-	s.jobs[id] = j
-	s.order = append(s.order, id)
-	s.mu.Unlock()
+	s.armJob(j, timeout)
 
 	if j.cacheDisp == cacheCoalesced {
+		s.mu.Lock()
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		s.attachPersistence(j)
 		// Follower: no queue slot and no worker — the leader's flight
 		// resolves this job. It still has its own deadline timer and
 		// context, and mirrors the leader's progress onto its own SSE
@@ -520,24 +816,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	validated := s.now()
-	select {
-	case s.queue <- j:
-	default:
-		// Queue full: roll the registration back and push back on the
-		// client instead of buffering unboundedly. The lock was released
-		// between registering and the queue send, so a concurrent submit
-		// may have appended after us — remove our id by value, not by
-		// truncating the tail.
-		s.mu.Lock()
-		delete(s.jobs, id)
-		for i, oid := range s.order {
-			if oid == id {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
+	// Admission-queue backpressure. The depth check and the registration
+	// are one critical section, so no rollback (and no rollback race with a
+	// concurrent submit) is possible: either the job is registered holding
+	// a slot, or it was never visible at all.
+	s.mu.Lock()
+	if s.queued >= s.cfg.queueDepth() {
+		depth := s.cfg.queueDepth()
 		s.mu.Unlock()
-		cancel(errors.New("rejected: queue full"))
+		// Releases the deadline goroutine too: it selects on ctx.Done.
+		j.cancel(errors.New("rejected: queue full"))
 		if j.flight != nil {
 			// The leader of a flight never ran; fail its followers now
 			// rather than leaving them waiting on a simulation that will
@@ -546,24 +834,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("leader job %s rejected: queue full", id))
 		}
 		s.metrics.jobsRejected.Add(1)
-		j.log.Warn("job rejected: queue full", "queue_depth", cap(s.queue), "retry_after_s", s.cfg.retryAfter())
+		j.log.Warn("job rejected: queue full", "queue_depth", depth, "retry_after_s", s.cfg.retryAfter())
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfter()))
 		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("admission queue full (%d queued); retry later", cap(s.queue)))
+			fmt.Errorf("admission queue full (%d queued); retry later", depth))
 		return
 	}
+	s.queued++
+	j.hasSlot = true
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	queueLen := s.queued
+	s.mu.Unlock()
+
+	j.initLegs(legs)
+	s.attachPersistence(j)
 	enqueued := s.now()
 	j.mu.Lock()
 	j.enqueued = enqueued
 	j.mu.Unlock()
 	j.trace.Lifecycle("enqueue", validated, enqueued, nil)
 	s.metrics.jobsAccepted.Add(1)
-	j.log.Info("job accepted", "queue_len", len(s.queue), "timeout", timeout)
+	j.log.Info("job accepted", "queue_len", queueLen, "timeout", timeout, "legs", legs, "priority", j.priority)
 	s.publishState(j)
+	s.sched.enqueue(j)
 	if j.cacheDisp != "" {
 		w.Header().Set(cacheHeader, j.cacheDisp)
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// armJob creates the job's cancellable context and, when timeout is
+// positive, its deadline. The deadline is a clock timer, not
+// context.WithDeadline, so a fake clock can expire it deterministically;
+// context.Cause still reads DeadlineExceeded. The timer is released when
+// the job finishes — or, for a job rejected at admission (whose doneCh
+// never closes), when the rejection path cancels the context.
+func (s *Server) armJob(j *job, timeout time.Duration) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j.ctx, j.cancel = ctx, cancel
+	if timeout > 0 {
+		timer := s.clk.AfterFunc(timeout, func() {
+			cancel(context.DeadlineExceeded)
+			j.trace.Instant("deadline", s.now(), map[string]any{"timeout_ms": timeout.Milliseconds()})
+			j.log.Warn("job deadline expired", "timeout", timeout)
+		})
+		go func() {
+			select {
+			case <-j.doneCh:
+			case <-ctx.Done():
+			}
+			timer.Stop()
+		}()
+	}
 }
 
 // finishFromCache finalizes a submission straight from a cache entry: the
@@ -592,12 +915,14 @@ func (s *Server) finishFromCache(j *job, e *resultcache.Entry, reqStart time.Tim
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
+	s.attachPersistence(j)
 
 	s.metrics.jobsAccepted.Add(1)
 	s.metrics.finish(StateDone, j.spec.Experiment, now.Sub(reqStart))
 	j.log.Info("job served from result cache", "key", e.Key)
 	j.events.publish("progress", mustJSON(map[string]int{"done": meta.Done, "total": meta.Total}))
 	s.publishState(j)
+	s.persistResult(j)
 	j.events.close()
 	close(j.doneCh)
 }
@@ -655,6 +980,7 @@ func (s *Server) waitCoalesced(j *job) {
 	if state == StateDone {
 		j.events.publish("progress", mustJSON(map[string]int{"done": meta.Done, "total": meta.Total}))
 	}
+	s.persistResult(j)
 	s.publishState(j)
 	j.events.close()
 	// No addJob: this job consumed no simulation resources of its own.
@@ -672,13 +998,52 @@ func (s *Server) waitCoalesced(j *job) {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	// s.order is already submission-ordered; sorting the id strings would
 	// diverge from submission order once the %06d width overflows.
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q: want a positive integer", raw))
+			return
+		}
+		limit = n
+	}
+	after := q.Get("after")
+
 	s.mu.Lock()
-	out := make([]Status, 0, len(s.order))
-	for _, id := range s.order {
+	start := 0
+	if after != "" {
+		found := false
+		for i, id := range s.order {
+			if id == after {
+				start, found = i+1, true
+				break
+			}
+		}
+		if !found {
+			s.mu.Unlock()
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown cursor %q", after))
+			return
+		}
+	}
+	end := len(s.order)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	out := make([]Status, 0, end-start)
+	for _, id := range s.order[start:end] {
 		out = append(out, s.jobs[id].status())
 	}
+	truncated := end < len(s.order)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+
+	resp := map[string]any{"jobs": out}
+	if truncated && len(out) > 0 {
+		// Resume with ?after=<next>: the cursor is the last id returned, so
+		// pagination is stable as new jobs append to the tail.
+		resp["next"] = out[len(out)-1].ID
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // lookup resolves {id}, writing 404 on miss.
@@ -725,6 +1090,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.errMsg = errClientCancel.Error()
 		j.finished = s.now()
 		j.mu.Unlock()
+		s.releaseQueueSlot(j)
 		j.cancel(errClientCancel)
 		if j.flight != nil {
 			// A flight whose leader never ran: fail the followers now.
@@ -734,6 +1100,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.trace.Instant("cancel", s.now(), map[string]any{"while": "queued"})
 		j.log.Info("job cancelled while queued")
 		s.metrics.finish(StateCancelled, j.spec.Experiment, 0)
+		s.persistResult(j)
 		s.publishState(j)
 		j.events.close()
 		close(j.doneCh)
